@@ -1,0 +1,262 @@
+package repro_test
+
+// One benchmark per table/figure of the paper's evaluation (DESIGN.md's
+// per-experiment index). Each benchmark regenerates its figure through
+// the same harness cmd/experiments uses and prints the series, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation at quick scale. The printed rows are
+// the deliverable; ns/op measures the cost of regenerating the figure.
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchConfig keeps per-iteration cost manageable while preserving every
+// sweep's structure; crank Reads/Instances (or use cmd/experiments
+// -scale full) for paper-scale statistics.
+func benchConfig() experiments.Config {
+	cfg := experiments.Quick()
+	cfg.Instances = 3
+	cfg.Reads = 150
+	return cfg
+}
+
+// BenchmarkFigure3 regenerates §3.1's QUBO-simplification study: the
+// fraction of simplified instances and mean fixed variables per problem
+// size and modulation. Expected shape: ratios near 1 below ~16 variables
+// decaying to 0 by 32–40 variables.
+func BenchmarkFigure3(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Instances = 15
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3(cfg, 48)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			res.WriteTable(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates the §3.1 soft-information constraint
+// study: a correct prior leaves the optimum intact; a strong wrong prior
+// displaces it.
+func BenchmarkFigure4(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			res.WriteTable(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates §4.3's sample-quality distributions on
+// 36-variable instances: FA vs RA(random init) vs RA(greedy init) per
+// modulation. Expected shape: RA-GS concentrates at low ΔE%; RA-random
+// is the worst of the three.
+func BenchmarkFigure6(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure6(cfg, 36)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			res.WriteTable(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates the initial-state quality study on the
+// 8-user 16-QAM instance: success probability and expected cost vs
+// ΔE_IS%. Expected shape: p★ highest at ΔE_IS% = 0 and degrading as the
+// initial state worsens.
+func BenchmarkFigure7(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			res.WriteTable(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates the s_p sweep on the 8-user 16-QAM
+// instance: p★ and TTS(99%) for FA, FR(oracle c_p), RA from the ground
+// state, the RA candidate family, and RA from the greedy candidate.
+// Expected shape: the RA family succeeds over a wide s_p window and its
+// best TTS beats FA's.
+func BenchmarkFigure8(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			res.WriteTable(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkHeadlineSpeedup regenerates the abstract's claim: RA from a
+// good candidate achieves the paper's "2–10×" processing-time advantage
+// (and "up to 10×" success probability) over FA at each solver's best
+// s_p, across instances.
+func BenchmarkHeadlineSpeedup(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Headline(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			res.WriteTable(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkPipeline regenerates Figure 2's pipelining argument: staged
+// classical/quantum processing of successive channel uses vs serial
+// execution. Expected shape: makespan speedup > 1 (approaching 2 for
+// balanced stages) with every frame decoded.
+func BenchmarkPipeline(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.PipelineFigure(cfg, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			res.WriteTable(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkAblationModules regenerates the §5 classical-module study:
+// candidate quality and hybrid solve rate for GS, ZF, K-best, FCSD, SA,
+// and random initializers. Expected shape: tree-search modules deliver
+// better ΔE_IS% than GS; random is far worse.
+func BenchmarkAblationModules(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunModuleAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			res.WriteTable(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkAblationDevice regenerates the simulator design-choice study:
+// retention / repair / FA strength under each engine, profile, noise,
+// quench, and embedding variant. Expected shape: only the calibrated
+// configuration both retains and repairs.
+func BenchmarkAblationDevice(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunDeviceAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			res.WriteTable(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkAblationGreedyOrder regenerates the §4.1 prose-ambiguity
+// study: ascending vs descending greedy bit ordering.
+func BenchmarkAblationGreedyOrder(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunGreedyOrderAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			res.WriteTable(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkBER regenerates the extension experiment behind the paper's
+// motivation: uplink BER vs SNR on a correlated Rayleigh channel for
+// linear, tree-search, exact-ML, and hybrid detectors. Expected shape:
+// ZF ≫ MMSE > K-best ≈ hybrid ≈ SD, all falling with SNR.
+func BenchmarkBER(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunBER(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			res.WriteTable(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkHardness regenerates the channel-conditioning study: detector
+// success probability per channel-condition-number bucket. Expected
+// shape: FA and hybrid p★ fall monotonically as κ grows.
+func BenchmarkHardness(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunHardness(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			res.WriteTable(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkQAOA regenerates the gate-model extension study: exact QAOA
+// (depths 1 and 3) vs the annealing simulation on small detection
+// instances — §2's two NISQ approaches side by side.
+func BenchmarkQAOA(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunQAOA(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			res.WriteTable(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkCapacity regenerates the Challenge-3 capacity-planning study:
+// ARQ deadline miss rate vs QPU pool size under Poisson channel-use
+// arrivals. Expected shape: misses fall monotonically as units are added
+// and vanish once pool service capacity exceeds the arrival rate.
+func BenchmarkCapacity(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunCapacity(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			res.WriteTable(os.Stdout)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -fig all                # every figure at quick scale
+//	experiments -fig 8 -scale full      # Figure 8 at paper scale
+//	experiments -fig headline -out dir  # write series files into dir
+//
+// Output is the same rows the paper plots (see DESIGN.md's
+// per-experiment index); -out writes one text file per figure,
+// otherwise everything prints to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "figure to regenerate: 2|3|4|6|7|8|headline|ablation-*|ber|hardness|qaoa|all")
+		scale = flag.String("scale", "quick", "effort: quick|full")
+		out   = flag.String("out", "", "directory for per-figure output files (default stdout)")
+		seed  = flag.Uint64("seed", 0, "override experiment seed (0 = default)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Quick()
+	if *scale == "full" {
+		cfg = experiments.Full()
+	} else if *scale != "quick" {
+		fatalf("unknown -scale %q (quick|full)", *scale)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	figs := strings.Split(*fig, ",")
+	if *fig == "all" {
+		figs = []string{"2", "3", "4", "6", "7", "8", "headline", "ablation-modules", "ablation-device", "ablation-gsorder", "ber", "hardness", "qaoa", "capacity"}
+	}
+	for _, f := range figs {
+		if err := runFigure(strings.TrimSpace(f), cfg, *out); err != nil {
+			fatalf("figure %s: %v", f, err)
+		}
+	}
+}
+
+// tabler is the common surface of every figure result.
+type tabler interface{ WriteTable(io.Writer) }
+
+func runFigure(fig string, cfg experiments.Config, outDir string) error {
+	var (
+		res tabler
+		err error
+	)
+	switch fig {
+	case "2", "pipeline":
+		res, err = experiments.PipelineFigure(cfg, 0)
+	case "3":
+		res, err = experiments.Figure3(cfg, 0)
+	case "4":
+		res, err = experiments.Figure4(cfg)
+	case "6":
+		res, err = experiments.Figure6(cfg, 0)
+	case "7":
+		res, err = experiments.Figure7(cfg)
+	case "8":
+		res, err = experiments.Figure8(cfg)
+	case "headline":
+		res, err = experiments.Headline(cfg)
+	case "ablation-modules":
+		res, err = experiments.RunModuleAblation(cfg)
+	case "ablation-device":
+		res, err = experiments.RunDeviceAblation(cfg)
+	case "ablation-gsorder":
+		res, err = experiments.RunGreedyOrderAblation(cfg)
+	case "ber":
+		res, err = experiments.RunBER(cfg)
+	case "hardness":
+		res, err = experiments.RunHardness(cfg)
+	case "qaoa":
+		res, err = experiments.RunQAOA(cfg)
+	case "capacity":
+		res, err = experiments.RunCapacity(cfg)
+	default:
+		return fmt.Errorf("unknown figure %q (2|3|4|6|7|8|headline|ablation-modules|ablation-device|ablation-gsorder)", fig)
+	}
+	if err != nil {
+		return err
+	}
+	w := io.Writer(os.Stdout)
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(outDir, "figure"+fig+".txt"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	res.WriteTable(w)
+	fmt.Fprintln(w)
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,194 @@
+// Command hybridmimo synthesizes a MIMO detection instance and solves it
+// with any of the repository's detectors and hybrid solvers, printing the
+// recovered symbols, solution quality (ΔE%), and timing.
+//
+// Usage:
+//
+//	hybridmimo -users 8 -mod 16qam -solver gs+ra
+//	hybridmimo -users 12 -mod qpsk -solver sd -snr 20
+//	hybridmimo -users 8 -mod 16qam -solver gs+ra -sweep   # s_p sweep
+//
+// Solvers: ml, zf, mmse, sd, kbest, fcsd, gs, sa, tabu, pt (classical);
+// fa, fr, gs+ra, zf+ra, random+ra, fa+descent, co, decomp, persist
+// (annealer-based).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/annealer"
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/instance"
+	"repro/internal/metrics"
+	"repro/internal/mimo"
+	"repro/internal/modulation"
+	"repro/internal/qubo"
+	"repro/internal/rng"
+)
+
+func main() {
+	var (
+		users   = flag.Int("users", 8, "number of users / transmit antennas")
+		mod     = flag.String("mod", "16qam", "modulation: bpsk|qpsk|16qam|64qam")
+		solver  = flag.String("solver", "gs+ra", "solver name (see doc comment)")
+		snr     = flag.Float64("snr", -1, "receive SNR in dB (-1 = noiseless, the paper's setting)")
+		seed    = flag.Uint64("seed", 1, "instance seed")
+		reads   = flag.Int("reads", 200, "anneal reads for quantum solvers")
+		sp      = flag.Float64("sp", 0.45, "RA switch/pause location")
+		sweep   = flag.Bool("sweep", false, "sweep s_p and report the best operating point")
+		embed   = flag.Bool("embed", false, "run anneals through the Chimera-embedded QPU model")
+		verbose = flag.Bool("v", false, "print per-sample details")
+	)
+	flag.Parse()
+
+	scheme, err := modulation.ParseScheme(*mod)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	n0 := 0.0
+	if *snr >= 0 {
+		n0 = channel.NoiseVarianceForSNR(*snr, *users)
+	}
+	inst, err := instance.Synthesize(instance.Spec{
+		Users: *users, Scheme: scheme, Channel: channel.UnitGainRandomPhase,
+		NoiseVariance: n0, Seed: *seed,
+	})
+	if err != nil {
+		fatalf("synthesize: %v", err)
+	}
+	fmt.Printf("instance: %d-user %s, %d QUBO variables, seed %d\n",
+		*users, scheme, inst.Reduction.NumSpins(), *seed)
+	fmt.Printf("ground energy (Ising, incl. offset): %.6g\n", inst.GroundEnergy)
+
+	cfg := core.AnnealConfig{}
+	prof := annealer.CalibratedProfile()
+	cfg.Profile = &prof
+	if *embed {
+		cfg.QPU = annealer.NewQPU2000Q()
+	}
+	r := rng.New(*seed ^ 0xABCDEF)
+
+	if *sweep {
+		best, init, err := core.OptimizeSp(inst.Reduction, nil, inst.GroundEnergy, *reads, cfg, r)
+		if err != nil {
+			fatalf("sweep: %v", err)
+		}
+		d := metrics.DeltaEForIsing(inst.Reduction.Ising, inst.Reduction.Ising.Energy(init), inst.GroundEnergy)
+		fmt.Printf("greedy candidate ΔE_IS%%: %.3f\n", d)
+		fmt.Printf("best s_p = %.2f: p★ = %.4f, TTS(99%%) = %.2f μs (schedule %.2f μs)\n",
+			best.Sp, best.PStar, best.TTS, best.Duration)
+		return
+	}
+
+	symbols, info, err := solve(*solver, inst, cfg, *reads, *sp, r)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	errs := mimo.SymbolErrors(symbols, inst.Transmitted)
+	bits := mimo.BitErrors(scheme, symbols, inst.Transmitted)
+	obj := inst.Problem.Objective(symbols)
+	fmt.Printf("solver: %s\n", *solver)
+	if info != "" {
+		fmt.Print(info)
+	}
+	fmt.Printf("objective ‖y−Hx̂‖²: %.6g\n", obj)
+	fmt.Printf("symbol errors: %d/%d, bit errors: %d/%d\n",
+		errs, *users, bits, *users*scheme.BitsPerSymbol())
+	if *verbose {
+		for i, x := range symbols {
+			fmt.Printf("  user %2d: detected %7.4f%+7.4fi  transmitted %7.4f%+7.4fi\n",
+				i, real(x), imag(x), real(inst.Transmitted[i]), imag(inst.Transmitted[i]))
+		}
+	}
+}
+
+func solve(name string, inst *instance.Instance, cfg core.AnnealConfig, reads int, sp float64, r *rng.Source) ([]complex128, string, error) {
+	red := inst.Reduction
+	is := red.Ising
+	deltaOf := func(e float64) float64 {
+		return metrics.DeltaEForIsing(is, e, inst.GroundEnergy)
+	}
+	switch strings.ToLower(name) {
+	case "ml", "zf", "mmse", "sd", "kbest", "fcsd":
+		det, err := detectorByName(name)
+		if err != nil {
+			return nil, "", err
+		}
+		syms, err := det.Detect(inst.Problem)
+		return syms, "", err
+	case "gs":
+		sol := qubo.GreedySearchIsing(is, qubo.OrderDescending)
+		return red.DecodeSpins(sol), fmt.Sprintf("ΔE%%: %.3f\n", deltaOf(is.Energy(sol))), nil
+	case "sa":
+		sol := qubo.SimulatedAnnealing(is, r, qubo.SAOptions{})
+		return red.DecodeSpins(sol.Spins), fmt.Sprintf("ΔE%%: %.3f\n", deltaOf(sol.Energy)), nil
+	case "tabu":
+		sol := qubo.TabuSearch(is, r, qubo.TabuOptions{})
+		return red.DecodeSpins(sol.Spins), fmt.Sprintf("ΔE%%: %.3f\n", deltaOf(sol.Energy)), nil
+	case "pt":
+		sol := qubo.ParallelTempering(is, r, qubo.PTOptions{})
+		return red.DecodeSpins(sol.Spins), fmt.Sprintf("ΔE%%: %.3f\n", deltaOf(sol.Energy)), nil
+	}
+
+	var out *core.Outcome
+	var err error
+	switch strings.ToLower(name) {
+	case "fa":
+		out, err = (&core.ForwardSolver{NumReads: reads, Config: cfg}).Solve(red, r)
+	case "fr":
+		out, err = (&core.ForwardReverseSolver{NumReads: reads, Sp: sp, Config: cfg}).Solve(red, r)
+	case "gs+ra":
+		out, err = (&core.Hybrid{Sp: sp, NumReads: reads, Config: cfg}).Solve(red, r)
+	case "zf+ra":
+		out, err = (&core.Hybrid{Classical: core.DetectorModule{Detector: mimo.ZeroForcing{}}, Sp: sp, NumReads: reads, Config: cfg}).Solve(red, r)
+	case "random+ra":
+		out, err = (&core.Hybrid{Classical: core.RandomModule{}, Sp: sp, NumReads: reads, Config: cfg}).Solve(red, r)
+	case "fa+descent":
+		out, err = (&core.PostProcessing{Forward: core.ForwardSolver{NumReads: reads, Config: cfg}}).Solve(red, r)
+	case "co":
+		out, err = (&core.CoProcessing{ReadsPerRound: reads / 3, Sp: sp, Config: cfg}).Solve(red, r)
+	case "decomp":
+		out, err = (&core.Decomposition{ReadsPerBlock: reads / 4, Sp: sp, Config: cfg}).Solve(red, r)
+	case "persist":
+		out, err = (&core.SamplePersistence{ReadsPerRound: reads / 3, Config: cfg}).Solve(red, r)
+	default:
+		return nil, "", fmt.Errorf("unknown solver %q", name)
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	p := metrics.SuccessProbability(out.Samples, inst.GroundEnergy, 1e-6)
+	info := fmt.Sprintf("best sample ΔE%%: %.3f  p★: %.4f  anneal time: %.1f μs (%d reads × %.2f μs)\n",
+		deltaOf(out.Best.Energy), p, out.AnnealTime, len(out.Samples), out.ScheduleDuration)
+	if out.InitialState != nil {
+		info += fmt.Sprintf("classical candidate ΔE_IS%%: %.3f\n", deltaOf(out.InitialEnergy))
+	}
+	return out.Symbols, info, nil
+}
+
+func detectorByName(name string) (mimo.Detector, error) {
+	switch strings.ToLower(name) {
+	case "ml":
+		return mimo.ML{}, nil
+	case "zf":
+		return mimo.ZeroForcing{}, nil
+	case "mmse":
+		return mimo.MMSE{}, nil
+	case "sd":
+		return mimo.SphereDecoder{}, nil
+	case "kbest":
+		return mimo.KBest{K: 16}, nil
+	case "fcsd":
+		return mimo.FCSD{FullExpansion: 2}, nil
+	}
+	return nil, fmt.Errorf("unknown detector %q", name)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hybridmimo: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,14 @@
+// Package repro reproduces "Towards Hybrid Classical-Quantum Computation
+// Structures in Wirelessly-Networked Systems" (Kim, Venturelli &
+// Jamieson, HotNets 2020) as a self-contained Go library: Large MIMO
+// detection reduced to Ising/QUBO form, a simulated D-Wave-2000Q-style
+// quantum annealer with forward / reverse / forward-reverse schedules,
+// the classical detector and heuristic baselines, the hybrid
+// classical-quantum coordination structures, and a benchmark harness
+// that regenerates every figure of the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// hardware-substitution rationale, and EXPERIMENTS.md for the
+// paper-vs-measured record. The library lives under internal/; the
+// executables under cmd/ and examples/ are the public entry points.
+package repro

@@ -1,0 +1,265 @@
+package annealer
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/chimera"
+	"repro/internal/qubo"
+	"repro/internal/rng"
+)
+
+// Params configures a batch of anneal reads (the N_s device calls of §2).
+type Params struct {
+	// Schedule is the anneal program (required).
+	Schedule *Schedule
+	// InitialState is the programmed classical state for reverse
+	// annealing; required iff the schedule starts at s = 1.
+	InitialState []int8
+	// NumReads is the number of samples to draw (default 1).
+	NumReads int
+	// Engine simulates the quantum dynamics (default SVMC{}).
+	Engine Engine
+	// Profile sets the device energy scales (default DWave2000QProfile).
+	Profile *Profile
+	// SweepsPerMicrosecond converts schedule time into Monte-Carlo sweeps
+	// (default 100). It is the simulation's "clock rate": TTS comparisons
+	// must hold it fixed across solvers.
+	SweepsPerMicrosecond float64
+	// ICE adds control-error noise to the programmed coefficients on
+	// every read (default none).
+	ICE ICE
+	// NoQuench disables the end-of-anneal quench. By default every read
+	// is relaxed to its local minimum by zero-temperature steepest
+	// descent before readout, modelling the freeze-out at the very end of
+	// the schedule where B(s) dwarfs the thermal scale and the system
+	// falls into the basin it occupies; without it, readout is polluted
+	// by near-degenerate single-spin thermal flips that no hardware
+	// anneal would report.
+	NoQuench bool
+	// Parallelism runs reads on up to this many goroutines (default 1:
+	// sequential). Each read derives its own RNG stream from its index,
+	// so results are bit-identical at any parallelism level.
+	Parallelism int
+}
+
+func (p Params) withDefaults() (Params, error) {
+	if p.Schedule == nil {
+		return p, fmt.Errorf("annealer: nil schedule")
+	}
+	if err := p.Schedule.Validate(); err != nil {
+		return p, err
+	}
+	if p.NumReads <= 0 {
+		p.NumReads = 1
+	}
+	if p.Engine == nil {
+		p.Engine = SVMC{}
+	}
+	if p.Profile == nil {
+		prof := DWave2000QProfile()
+		p.Profile = &prof
+	}
+	if err := p.Profile.Validate(); err != nil {
+		return p, err
+	}
+	if p.SweepsPerMicrosecond == 0 {
+		p.SweepsPerMicrosecond = 100
+	}
+	if p.SweepsPerMicrosecond < 0 {
+		return p, fmt.Errorf("annealer: negative sweeps per microsecond")
+	}
+	return p, nil
+}
+
+// Result is the outcome of a batch of reads.
+type Result struct {
+	// Samples holds every read's measured state and its energy under the
+	// ORIGINAL (unnormalized) problem.
+	Samples []qubo.Sample
+	// Best is the lowest-energy sample (§2: "the best sample is selected
+	// as the final solution").
+	Best qubo.Sample
+	// ScheduleDuration is one read's anneal time in μs.
+	ScheduleDuration float64
+	// TotalAnnealTime = NumReads × ScheduleDuration (μs), the quantity
+	// TTS-style metrics account.
+	TotalAnnealTime float64
+	// BrokenChainRate is the fraction of (read × chain) events where a
+	// chain was not unanimous; zero for unembedded runs.
+	BrokenChainRate float64
+}
+
+// Run draws reads from the simulated annealer for a logical (all-to-all
+// capable) problem. The problem is normalized to the device coefficient
+// range for the dynamics; reported energies are in the caller's original
+// scale.
+func Run(is *qubo.Ising, p Params, r *rng.Source) (*Result, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if is.N == 0 {
+		return nil, fmt.Errorf("annealer: empty problem")
+	}
+	if p.Schedule.StartsClassical() && len(p.InitialState) != is.N {
+		return nil, fmt.Errorf("annealer: reverse anneal needs an initial state of %d spins, got %d", is.N, len(p.InitialState))
+	}
+	norm, _ := is.Normalized()
+	res := &Result{ScheduleDuration: p.Schedule.Duration()}
+	res.Samples = sampleReads(p.NumReads, p.Parallelism, r, func(rr *rng.Source) []int8 {
+		prog := p.ICE.Perturb(norm, rr)
+		spins := p.Engine.Anneal(prog, p.Schedule, *p.Profile, p.InitialState, p.SweepsPerMicrosecond, rr)
+		if !p.NoQuench {
+			spins = qubo.SteepestDescent(prog, spins).Spins
+		}
+		return spins
+	}, is.Energy)
+	res.Best = bestSample(res.Samples)
+	res.TotalAnnealTime = float64(p.NumReads) * res.ScheduleDuration
+	return res, nil
+}
+
+// sampleReads draws numReads samples, optionally across a worker pool.
+// Read i always uses r.Split(i), so the result is independent of the
+// parallelism level.
+func sampleReads(numReads, parallelism int, r *rng.Source, anneal func(*rng.Source) []int8, energy func([]int8) float64) []qubo.Sample {
+	samples := make([]qubo.Sample, numReads)
+	oneRead := func(read int) {
+		spins := anneal(r.Split(uint64(read)))
+		samples[read] = qubo.Sample{Spins: spins, Energy: energy(spins)}
+	}
+	if parallelism <= 1 || numReads <= 1 {
+		for read := 0; read < numReads; read++ {
+			oneRead(read)
+		}
+		return samples
+	}
+	if parallelism > numReads {
+		parallelism = numReads
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for read := range jobs {
+				oneRead(read)
+			}
+		}()
+	}
+	for read := 0; read < numReads; read++ {
+		jobs <- read
+	}
+	close(jobs)
+	wg.Wait()
+	return samples
+}
+
+// bestSample returns the lowest-energy sample (first wins ties).
+func bestSample(samples []qubo.Sample) qubo.Sample {
+	best := samples[0]
+	for _, s := range samples[1:] {
+		if s.Energy < best.Energy {
+			best = s
+		}
+	}
+	return best
+}
+
+// QPU couples the anneal simulation to the Chimera hardware model: logical
+// problems are minor-embedded as cliques, run on the physical graph, and
+// unembedded by majority vote — the full path a problem takes through the
+// 2000Q.
+type QPU struct {
+	// Grid is the Chimera dimension (16 for the 2000Q).
+	Grid int
+	// ChainStrength overrides the ferromagnetic chain coupling; 0 means
+	// chimera.RecommendedChainStrength per problem.
+	ChainStrength float64
+	// ProgrammingTime and ReadoutTime (μs) model the per-call and
+	// per-read device overheads used by the pipeline experiments
+	// (defaults: 10 ms programming, 123 μs readout, 2000Q-typical).
+	ProgrammingTime float64
+	ReadoutTime     float64
+}
+
+// NewQPU2000Q returns the paper's device: C_16 with typical overheads.
+func NewQPU2000Q() *QPU {
+	return &QPU{Grid: 16, ProgrammingTime: 10_000, ReadoutTime: 123}
+}
+
+// MaxProblemSize returns the largest embeddable clique.
+func (q *QPU) MaxProblemSize() int { return chimera.MaxCliqueSize(q.Grid) }
+
+// ServiceTime returns the wall-clock μs the device is busy for a batch of
+// reads under a schedule: programming + reads × (anneal + readout).
+func (q *QPU) ServiceTime(sc *Schedule, numReads int) float64 {
+	return q.ProgrammingTime + float64(numReads)*(sc.Duration()+q.ReadoutTime)
+}
+
+// Run embeds the logical problem onto the smallest sufficient Chimera
+// region (bounded by Grid), anneals the physical problem, and unembeds
+// each read. Sample energies are logical-problem energies.
+func (q *QPU) Run(logical *qubo.Ising, p Params, r *rng.Source) (*Result, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if logical.N > q.MaxProblemSize() {
+		return nil, fmt.Errorf("annealer: %d variables exceed QPU clique capacity %d", logical.N, q.MaxProblemSize())
+	}
+	m := chimera.MinGridFor(logical.N)
+	if m > q.Grid {
+		m = q.Grid
+	}
+	graph := chimera.NewGraph(m)
+	emb, err := chimera.EmbedClique(graph, logical.N)
+	if err != nil {
+		return nil, err
+	}
+	cs := q.ChainStrength
+	if cs == 0 {
+		cs = chimera.RecommendedChainStrength(logical)
+	}
+	phys, err := emb.EmbedIsing(logical, cs)
+	if err != nil {
+		return nil, err
+	}
+	if p.Schedule.StartsClassical() {
+		if len(p.InitialState) != logical.N {
+			return nil, fmt.Errorf("annealer: reverse anneal needs an initial state of %d spins, got %d", logical.N, len(p.InitialState))
+		}
+		p.InitialState = emb.EmbedSpins(p.InitialState)
+	}
+	normPhys, _ := phys.Normalized()
+	res := &Result{ScheduleDuration: p.Schedule.Duration()}
+	// Chain breakage is counted on the RAW engine output — the state the
+	// device's readout would see — before the quench heals chains on the
+	// way to each sample's reported basin.
+	totalBroken := 0
+	var brokenMu sync.Mutex
+	res.Samples = sampleReads(p.NumReads, p.Parallelism, r, func(rr *rng.Source) []int8 {
+		prog := p.ICE.Perturb(normPhys, rr)
+		physSpins := p.Engine.Anneal(prog, p.Schedule, *p.Profile, p.InitialState, p.SweepsPerMicrosecond, rr)
+		_, b := emb.Unembed(physSpins)
+		brokenMu.Lock()
+		totalBroken += b
+		brokenMu.Unlock()
+		if !p.NoQuench {
+			physSpins = qubo.SteepestDescent(prog, physSpins).Spins
+		}
+		return physSpins
+	}, func([]int8) float64 { return 0 })
+	for i := range res.Samples {
+		spins, _ := emb.Unembed(res.Samples[i].Spins)
+		res.Samples[i] = qubo.Sample{Spins: spins, Energy: logical.Energy(spins)}
+	}
+	if p.NumReads > 0 {
+		res.BrokenChainRate = float64(totalBroken) / float64(p.NumReads*logical.N)
+	}
+	res.Best = bestSample(res.Samples)
+	res.TotalAnnealTime = float64(p.NumReads) * res.ScheduleDuration
+	return res, nil
+}

@@ -1,0 +1,41 @@
+package annealer
+
+import (
+	"fmt"
+
+	"repro/internal/qubo"
+	"repro/internal/rng"
+)
+
+// Engine is a classical surrogate for the annealer's quantum dynamics: it
+// evolves one sample through an anneal schedule and returns the measured
+// classical state.
+//
+// Two engines are provided. SVMC (spin-vector Monte Carlo) models each
+// qubit as a classical O(2) rotor — cheap and known to capture much of
+// D-Wave's equilibrium behaviour. PIMC (path-integral Monte Carlo /
+// simulated quantum annealing) simulates the transverse-field Ising model
+// through its Suzuki–Trotter decomposition — the standard reference
+// surrogate in the quantum-annealing benchmarking literature.
+type Engine interface {
+	// Name identifies the engine in experiment output.
+	Name() string
+	// Anneal evolves one read. init is the programmed classical initial
+	// state for schedules that start at s = 1 (reverse annealing) and is
+	// ignored otherwise; sweepsPerMicrosecond converts schedule time to
+	// Monte-Carlo sweeps.
+	Anneal(is *qubo.Ising, sc *Schedule, prof Profile, init []int8, sweepsPerMicrosecond float64, r *rng.Source) []int8
+}
+
+// sweepCount converts a schedule duration to an integer sweep count
+// (at least 1 per schedule point segment).
+func sweepCount(sc *Schedule, sweepsPerMicrosecond float64) (int, error) {
+	if sweepsPerMicrosecond <= 0 {
+		return 0, fmt.Errorf("annealer: sweeps per microsecond must be positive")
+	}
+	n := int(sc.Duration() * sweepsPerMicrosecond)
+	if n < 2 {
+		n = 2
+	}
+	return n, nil
+}

@@ -1,0 +1,143 @@
+package annealer
+
+import (
+	"math"
+
+	"repro/internal/qubo"
+	"repro/internal/rng"
+)
+
+// PIMC is the path-integral Monte Carlo engine — simulated quantum
+// annealing, the standard classical surrogate for transverse-field
+// quantum annealing dynamics (Boixo et al. 2014; Rønnow et al. 2014).
+//
+// The transverse-field Ising model at inverse temperature β is mapped by
+// the Suzuki–Trotter decomposition onto P coupled classical replicas
+// ("imaginary-time slices") with action
+//
+//	S = (β·B(s)/2P)·Σ_k E_problem(slice k)
+//	  − K(s)·Σ_k Σ_i s_{i,k}·s_{i,k+1} ,
+//	K(s) = −½·ln tanh(β·A(s)/2P) ≥ 0  (periodic in k),
+//
+// evolved by Metropolis single-spin flips as s(t) follows the schedule.
+// Strong transverse field (small s) means weak replica coupling —
+// replicas decorrelate, measurement is random; near s = 1 the replicas
+// lock ferromagnetically and the system behaves as a classical register.
+// Measurement returns one uniformly chosen replica, mirroring the
+// projective readout of the device.
+type PIMC struct {
+	// Slices is the Trotter number P (default 16).
+	Slices int
+	// MaxTemporalCoupling clamps K(s) as A(s) → 0 so late-schedule
+	// dynamics freeze smoothly instead of dividing by zero (default 5).
+	MaxTemporalCoupling float64
+}
+
+// Name implements Engine.
+func (PIMC) Name() string { return "pimc" }
+
+func (e PIMC) slices() int {
+	if e.Slices <= 0 {
+		return 16
+	}
+	return e.Slices
+}
+
+func (e PIMC) kMax() float64 {
+	if e.MaxTemporalCoupling <= 0 {
+		return 5
+	}
+	return e.MaxTemporalCoupling
+}
+
+// temporalCoupling returns K(s), clamped to [0, kMax].
+func (e PIMC) temporalCoupling(beta, a float64, p int) float64 {
+	arg := beta * a / (2 * float64(p))
+	if arg <= 0 {
+		return e.kMax()
+	}
+	t := math.Tanh(arg)
+	if t <= 0 {
+		return e.kMax()
+	}
+	k := -0.5 * math.Log(t)
+	if k < 0 {
+		k = 0 // tanh > 1 cannot happen; guard for rounding
+	}
+	if k > e.kMax() {
+		k = e.kMax()
+	}
+	return k
+}
+
+// Anneal implements Engine.
+func (e PIMC) Anneal(is *qubo.Ising, sc *Schedule, prof Profile, init []int8, sweepsPerMicrosecond float64, r *rng.Source) []int8 {
+	n := is.N
+	p := e.slices()
+	sweeps, err := sweepCount(sc, sweepsPerMicrosecond)
+	if err != nil {
+		panic(err)
+	}
+	beta := 1 / prof.TemperatureGHz
+
+	// replica[k] is slice k's spin configuration.
+	replica := make([][]int8, p)
+	for k := range replica {
+		replica[k] = make([]int8, n)
+	}
+	if sc.StartsClassical() {
+		if len(init) != n {
+			panic("annealer: PIMC reverse anneal requires an initial state")
+		}
+		for k := range replica {
+			copy(replica[k], init)
+		}
+	} else {
+		for k := range replica {
+			for i := range replica[k] {
+				replica[k][i] = r.Spin()
+			}
+		}
+	}
+	// fields[k][i] = h_i + Σ_j J_ij·s_{j,k}, maintained incrementally.
+	fields := make([][]float64, p)
+	for k := range fields {
+		fields[k] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			fields[k][i] = is.LocalField(replica[k], i)
+		}
+	}
+
+	duration := sc.Duration()
+	for sweep := 0; sweep < sweeps; sweep++ {
+		t := duration * float64(sweep) / float64(sweeps-1)
+		s := sc.At(t)
+		spatial := beta * prof.B(s) / (2 * float64(p))
+		temporal := e.temporalCoupling(beta, prof.A(s), p)
+		for k := 0; k < p; k++ {
+			prev := replica[(k+p-1)%p]
+			next := replica[(k+1)%p]
+			cur := replica[k]
+			f := fields[k]
+			for m := 0; m < n; m++ {
+				i := r.Intn(n)
+				si := float64(cur[i])
+				// Spatial action delta: flipping s changes slice energy by
+				// −2·s·f, scaled by the spatial action factor; the two
+				// temporal bonds change by +2·K·s·(s_prev + s_next).
+				dS := spatial*(-2*si*f[i]) + 2*temporal*si*float64(prev[i]+next[i])
+				if dS <= 0 || r.Float64() < math.Exp(-dS) {
+					cur[i] = -cur[i]
+					for _, c := range is.Adj[i] {
+						f[c.To] += 2 * c.J * float64(cur[i])
+					}
+				}
+			}
+		}
+	}
+
+	// Projective measurement: one uniformly chosen replica.
+	out := make([]int8, n)
+	copy(out, replica[r.Intn(p)])
+	return out
+}

@@ -1,0 +1,74 @@
+package annealer
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Render draws the schedule's s(t) trajectory as ASCII art — the three
+// flavors of Figure 5 — with time on the x axis and anneal fraction on
+// the y axis (s = 1 at the top: classical memory register; s = 0 at the
+// bottom: fully quantum state).
+func (sc *Schedule) Render(width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	dur := sc.Duration()
+	if dur <= 0 {
+		return ""
+	}
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", width))
+	}
+	prevRow := -1
+	for x := 0; x < width; x++ {
+		t := dur * float64(x) / float64(width-1)
+		s := sc.At(t)
+		row := int(math.Round((1 - s) * float64(height-1)))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		grid[row][x] = '*'
+		// Fill vertical gaps so steep ramps stay connected.
+		if prevRow >= 0 && abs(row-prevRow) > 1 {
+			step := 1
+			if row < prevRow {
+				step = -1
+			}
+			for y := prevRow + step; y != row; y += step {
+				grid[y][x] = '|'
+			}
+		}
+		prevRow = row
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "s=1 %s\n", string(grid[0]))
+	for y := 1; y < height-1; y++ {
+		fmt.Fprintf(&b, "    %s\n", string(grid[y]))
+	}
+	fmt.Fprintf(&b, "s=0 %s\n", string(grid[height-1]))
+	fmt.Fprintf(&b, "    t=0%st=%.2fµs (%s)\n", strings.Repeat(" ", max(1, width-14)), dur, sc.Kind)
+	return b.String()
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,203 @@
+// Package annealer simulates a D-Wave-2000Q-style quantum annealer: the
+// FA/RA/FR anneal schedules of §4.1, a transverse-field/problem
+// energy-scale model A(s)/B(s), control-error ("ICE") noise, and two
+// classical surrogate engines for the quantum dynamics — path-integral
+// Monte Carlo (simulated quantum annealing) and spin-vector Monte Carlo.
+//
+// This package is the substitution for the physical quantum hardware the
+// paper prototypes on (see DESIGN.md): it reproduces the mechanisms the
+// paper's comparisons rest on — reverse annealing as a refined local
+// search whose escape radius is set by the switch/pause location s_p,
+// freeze-out near s = 1, and information wipe-out at small s — with the
+// paper's μs-based schedule timing, so time-to-solution comparisons carry
+// the same semantics.
+package annealer
+
+import (
+	"fmt"
+)
+
+// Point is one vertex of a piecewise-linear anneal schedule: at Time (μs)
+// the anneal fraction is S.
+type Point struct {
+	Time float64 // μs from anneal start
+	S    float64 // anneal fraction, 0 (fully quantum) .. 1 (classical)
+}
+
+// Kind labels the three schedule flavors of Figure 5.
+type Kind int
+
+// The schedule flavors compared in the paper.
+const (
+	ForwardKind Kind = iota
+	ReverseKind
+	ForwardReverseKind
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case ForwardKind:
+		return "FA"
+	case ReverseKind:
+		return "RA"
+	case ForwardReverseKind:
+		return "FR"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Schedule is a piecewise-linear anneal program s(t).
+type Schedule struct {
+	Kind   Kind
+	Points []Point
+}
+
+// Forward builds the FA schedule of §4.1 with anneal time ta, pause
+// location sp, and pause duration tp (all μs / fractions):
+//
+//	[0, 0] →F [sp, sp] →P [sp+tp, sp] →F [ta+tp, 1]
+//
+// The paper sets ta = 1 μs (the 2000Q hardware minimum) so the ramps run
+// at unit rate; the formula keeps ta explicit.
+func Forward(ta, sp, tp float64) (*Schedule, error) {
+	if ta <= 0 {
+		return nil, fmt.Errorf("annealer: anneal time %g must be positive", ta)
+	}
+	if sp <= 0 || sp >= 1 {
+		return nil, fmt.Errorf("annealer: FA pause location %g must lie in (0,1)", sp)
+	}
+	if tp < 0 {
+		return nil, fmt.Errorf("annealer: negative pause time %g", tp)
+	}
+	// The paper's step list places the pause at time sp·ta into the ramp
+	// for ta = 1; for general ta the ramp reaches sp at sp·ta.
+	t1 := sp * ta
+	return &Schedule{Kind: ForwardKind, Points: dedupe([]Point{
+		{0, 0},
+		{t1, sp},
+		{t1 + tp, sp},
+		{ta + tp, 1},
+	})}, nil
+}
+
+// dedupe drops points that repeat the previous time stamp (a zero-length
+// pause), keeping schedules valid for tp = 0.
+func dedupe(pts []Point) []Point {
+	out := pts[:1]
+	for _, p := range pts[1:] {
+		if p.Time > out[len(out)-1].Time {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Reverse builds the RA schedule of §4.1 with switch+pause location sp
+// and pause duration tp:
+//
+//	[0, 1] →R [1−sp, sp] →P [1−sp+tp, sp] →F [2(1−sp)+tp, 1]
+//
+// Ramps run at unit rate (1 anneal-fraction per μs), so the total
+// duration depends on sp, as the paper notes.
+func Reverse(sp, tp float64) (*Schedule, error) {
+	if sp <= 0 || sp >= 1 {
+		return nil, fmt.Errorf("annealer: RA switch location %g must lie in (0,1)", sp)
+	}
+	if tp < 0 {
+		return nil, fmt.Errorf("annealer: negative pause time %g", tp)
+	}
+	d := 1 - sp
+	return &Schedule{Kind: ReverseKind, Points: dedupe([]Point{
+		{0, 1},
+		{d, sp},
+		{d + tp, sp},
+		{2*d + tp, 1},
+	})}, nil
+}
+
+// ForwardReverse builds the single-step FR schedule of §4.1: forward to
+// cp, backward to sp, pause, then forward to 1:
+//
+//	[0,0] →F [cp,cp] →R [2cp−sp, sp] →P [2cp−sp+tp, sp]
+//	      →F [2cp−2sp+tp+ta, 1]
+//
+// cp must exceed sp for the reverse leg to exist.
+func ForwardReverse(cp, sp, tp, ta float64) (*Schedule, error) {
+	if sp <= 0 || sp >= 1 {
+		return nil, fmt.Errorf("annealer: FR pause location %g must lie in (0,1)", sp)
+	}
+	if cp <= sp || cp > 1 {
+		return nil, fmt.Errorf("annealer: FR turn point %g must lie in (sp, 1]", cp)
+	}
+	if tp < 0 || ta <= 0 {
+		return nil, fmt.Errorf("annealer: bad FR times tp=%g ta=%g", tp, ta)
+	}
+	if ta <= sp {
+		return nil, fmt.Errorf("annealer: FR anneal time %g must exceed sp=%g for the final ramp", ta, sp)
+	}
+	t3 := 2*cp - sp + tp
+	return &Schedule{Kind: ForwardReverseKind, Points: dedupe([]Point{
+		{0, 0},
+		{cp, cp},
+		{2*cp - sp, sp},
+		{t3, sp},
+		{t3 + (ta - sp), 1},
+	})}, nil
+}
+
+// Duration returns the total schedule length in μs.
+func (sc *Schedule) Duration() float64 {
+	if len(sc.Points) == 0 {
+		return 0
+	}
+	return sc.Points[len(sc.Points)-1].Time
+}
+
+// At returns the anneal fraction s at time t (μs), clamping outside the
+// program.
+func (sc *Schedule) At(t float64) float64 {
+	pts := sc.Points
+	if len(pts) == 0 {
+		return 1
+	}
+	if t <= pts[0].Time {
+		return pts[0].S
+	}
+	for i := 1; i < len(pts); i++ {
+		if t <= pts[i].Time {
+			span := pts[i].Time - pts[i-1].Time
+			if span == 0 {
+				return pts[i].S
+			}
+			f := (t - pts[i-1].Time) / span
+			return pts[i-1].S + f*(pts[i].S-pts[i-1].S)
+		}
+	}
+	return pts[len(pts)-1].S
+}
+
+// StartsClassical reports whether the schedule begins at s = 1 (and so
+// requires a programmed initial state — reverse annealing).
+func (sc *Schedule) StartsClassical() bool {
+	return len(sc.Points) > 0 && sc.Points[0].S >= 1
+}
+
+// Validate checks monotone time and in-range anneal fractions.
+func (sc *Schedule) Validate() error {
+	if len(sc.Points) < 2 {
+		return fmt.Errorf("annealer: schedule needs at least 2 points")
+	}
+	for i, p := range sc.Points {
+		if p.S < 0 || p.S > 1 {
+			return fmt.Errorf("annealer: point %d anneal fraction %g out of [0,1]", i, p.S)
+		}
+		if i > 0 && p.Time <= sc.Points[i-1].Time {
+			return fmt.Errorf("annealer: point %d time %g not increasing", i, p.Time)
+		}
+	}
+	if sc.Points[len(sc.Points)-1].S != 1 {
+		return fmt.Errorf("annealer: schedule must end at s = 1 for readout")
+	}
+	return nil
+}

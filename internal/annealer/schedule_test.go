@@ -1,0 +1,242 @@
+package annealer
+
+import (
+	"math"
+	"testing"
+)
+
+func TestForwardSchedulePaperForm(t *testing.T) {
+	// §4.1: [0,0] →F [sp,sp] →P [sp+tp,sp] →F [ta+tp, 1] with ta=1, tp=1.
+	sc, err := Forward(1, 0.41, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Point{{0, 0}, {0.41, 0.41}, {1.41, 0.41}, {2, 1}}
+	if len(sc.Points) != len(want) {
+		t.Fatalf("points: %v", sc.Points)
+	}
+	for i, p := range want {
+		if math.Abs(sc.Points[i].Time-p.Time) > 1e-12 || math.Abs(sc.Points[i].S-p.S) > 1e-12 {
+			t.Fatalf("point %d = %v, want %v", i, sc.Points[i], p)
+		}
+	}
+	if math.Abs(sc.Duration()-2) > 1e-12 {
+		t.Fatalf("duration %v", sc.Duration())
+	}
+	if sc.StartsClassical() {
+		t.Fatal("FA reported as classical start")
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReverseSchedulePaperForm(t *testing.T) {
+	// §4.1: [0,1] →R [1−sp,sp] →P [1−sp+tp,sp] →F [2(1−sp)+tp, 1].
+	sc, err := Reverse(0.4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Point{{0, 1}, {0.6, 0.4}, {1.6, 0.4}, {2.2, 1}}
+	for i, p := range want {
+		if math.Abs(sc.Points[i].Time-p.Time) > 1e-12 || math.Abs(sc.Points[i].S-p.S) > 1e-12 {
+			t.Fatalf("point %d = %v, want %v", i, sc.Points[i], p)
+		}
+	}
+	if !sc.StartsClassical() {
+		t.Fatal("RA must start classical")
+	}
+	// RA duration depends on sp: 2(1−sp) + tp.
+	if math.Abs(sc.Duration()-2.2) > 1e-12 {
+		t.Fatalf("duration %v", sc.Duration())
+	}
+}
+
+func TestForwardReverseSchedulePaperForm(t *testing.T) {
+	// §4.1: [0,0]→F[cp,cp]→R[2cp−sp,sp]→P[2cp−sp+tp,sp]→F[2cp−2sp+tp+ta,1].
+	cp, sp, tp, ta := 0.7, 0.4, 1.0, 1.0
+	sc, err := ForwardReverse(cp, sp, tp, ta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Point{
+		{0, 0},
+		{0.7, 0.7},
+		{1.0, 0.4},
+		{2.0, 0.4},
+		{2.6, 1},
+	}
+	for i, p := range want {
+		if math.Abs(sc.Points[i].Time-p.Time) > 1e-9 || math.Abs(sc.Points[i].S-p.S) > 1e-9 {
+			t.Fatalf("point %d = %v, want %v", i, sc.Points[i], p)
+		}
+	}
+	if sc.StartsClassical() {
+		t.Fatal("FR must start quantum")
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleAtInterpolates(t *testing.T) {
+	sc, _ := Reverse(0.5, 1)
+	// Ramp down: at t=0.25, halfway from 1 to 0.5 over 0.5 μs.
+	if got := sc.At(0.25); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("At(0.25) = %v", got)
+	}
+	// During pause.
+	if got := sc.At(1.0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("At(1.0) = %v", got)
+	}
+	// Clamps outside.
+	if sc.At(-1) != 1 || sc.At(100) != 1 {
+		t.Fatal("At does not clamp")
+	}
+}
+
+func TestZeroPauseSchedulesValid(t *testing.T) {
+	for _, build := range []func() (*Schedule, error){
+		func() (*Schedule, error) { return Forward(1, 0.5, 0) },
+		func() (*Schedule, error) { return Reverse(0.5, 0) },
+		func() (*Schedule, error) { return ForwardReverse(0.7, 0.4, 0, 1) },
+	} {
+		sc, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("zero-pause schedule invalid: %v", err)
+		}
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		err  bool
+		f    func() (*Schedule, error)
+	}{
+		{"FA sp=0", true, func() (*Schedule, error) { return Forward(1, 0, 1) }},
+		{"FA sp=1", true, func() (*Schedule, error) { return Forward(1, 1, 1) }},
+		{"FA ta<0", true, func() (*Schedule, error) { return Forward(-1, 0.5, 1) }},
+		{"FA tp<0", true, func() (*Schedule, error) { return Forward(1, 0.5, -1) }},
+		{"RA sp out", true, func() (*Schedule, error) { return Reverse(1.2, 1) }},
+		{"FR cp<=sp", true, func() (*Schedule, error) { return ForwardReverse(0.4, 0.4, 1, 1) }},
+		{"FR cp>1", true, func() (*Schedule, error) { return ForwardReverse(1.1, 0.4, 1, 1) }},
+		{"FR ta<=sp", true, func() (*Schedule, error) { return ForwardReverse(0.7, 0.4, 1, 0.3) }},
+		{"FA ok", false, func() (*Schedule, error) { return Forward(1, 0.41, 1) }},
+		{"RA ok", false, func() (*Schedule, error) { return Reverse(0.25, 1) }},
+		{"FR ok", false, func() (*Schedule, error) { return ForwardReverse(0.99, 0.25, 1, 1) }},
+	}
+	for _, c := range cases {
+		_, err := c.f()
+		if c.err && err == nil {
+			t.Fatalf("%s: expected error", c.name)
+		}
+		if !c.err && err != nil {
+			t.Fatalf("%s: unexpected error %v", c.name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadPrograms(t *testing.T) {
+	bad := []*Schedule{
+		{Points: []Point{{0, 0}}},                     // too short
+		{Points: []Point{{0, 0}, {1, 1.5}}},           // s out of range
+		{Points: []Point{{0, 0}, {1, 0.5}, {0.5, 1}}}, // time not increasing
+		{Points: []Point{{0, 0}, {1, 0.5}}},           // does not end at 1
+	}
+	for i, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Fatalf("bad schedule %d accepted", i)
+		}
+	}
+}
+
+// TestRADurationShrinksWithSp: the paper notes RA total duration depends
+// on sp — higher sp (shallower reversal) means shorter programs.
+func TestRADurationShrinksWithSp(t *testing.T) {
+	lo, _ := Reverse(0.3, 1)
+	hi, _ := Reverse(0.8, 1)
+	if hi.Duration() >= lo.Duration() {
+		t.Fatalf("duration(sp=0.8)=%v not < duration(sp=0.3)=%v", hi.Duration(), lo.Duration())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if ForwardKind.String() != "FA" || ReverseKind.String() != "RA" || ForwardReverseKind.String() != "FR" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+// TestRenderShapes: Figure 5's three flavors render with the right
+// endpoints — FA starts at the bottom (s=0), RA at the top (s=1), FR at
+// the bottom with a dip after the turn — and all end at the top.
+func TestRenderShapes(t *testing.T) {
+	fa, _ := Forward(1, 0.41, 1)
+	ra, _ := Reverse(0.45, 1)
+	fr, _ := ForwardReverse(0.7, 0.4, 1, 1)
+	for _, tc := range []struct {
+		sc        *Schedule
+		startsTop bool
+	}{
+		{fa, false}, {ra, true}, {fr, false},
+	} {
+		out := tc.sc.Render(40, 10)
+		lines := splitLines(out)
+		if len(lines) < 11 {
+			t.Fatalf("%s: render too short:\n%s", tc.sc.Kind, out)
+		}
+		top, bottom := lines[0], lines[len(lines)-2]
+		// First column of the plot area is offset 4 ("s=1 " prefix).
+		startRow := top
+		if !tc.startsTop {
+			startRow = bottom
+		}
+		if startRow[4] != '*' {
+			t.Fatalf("%s: does not start on the expected edge:\n%s", tc.sc.Kind, out)
+		}
+		// Ends at s=1 (top) for readout.
+		if top[len(top)-1] != '*' {
+			t.Fatalf("%s: does not end at s=1:\n%s", tc.sc.Kind, out)
+		}
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// TestRenderConnected: no column of the plot is empty (ramps are filled).
+func TestRenderConnected(t *testing.T) {
+	ra, _ := Reverse(0.3, 1)
+	out := ra.Render(30, 8)
+	lines := splitLines(out)
+	plot := lines[:len(lines)-1]
+	for x := 4; x < 4+30; x++ {
+		seen := false
+		for _, line := range plot {
+			if x < len(line) && (line[x] == '*' || line[x] == '|') {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			t.Fatalf("column %d empty:\n%s", x, out)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package annealer
+
+import (
+	"math"
+
+	"repro/internal/qubo"
+	"repro/internal/rng"
+)
+
+// SVMC is the spin-vector Monte Carlo engine (Shin, Smith, Smolin &
+// Vazirani's classical model of D-Wave dynamics): each qubit i is a
+// classical rotor with angle θ_i ∈ [0, π], with energy
+//
+//	E(θ; s) = −A(s)/2·Σ sin θ_i
+//	        + B(s)/2·(Σ h_i·cos θ_i + Σ J_ij·cos θ_i·cos θ_j),
+//
+// evolved by Metropolis updates at the device temperature while s(t)
+// follows the anneal schedule. Measurement projects each rotor to
+// sign(cos θ).
+//
+// The model reproduces the schedule physics the paper's comparison rests
+// on: at small s the transverse term dominates and rotors sit near π/2
+// (random measurement), near s = 1 the problem term with β·B/2 ≫ 1
+// freezes the rotors (classical memory), and in between quantum-style
+// fluctuations let a reverse anneal escape shallow local minima around
+// its programmed initial state.
+// The zero value proposes fresh uniform angles per update (the original
+// SVMC of Shin et al.). TFMoves switches to transverse-field-scaled
+// proposals (the "SVMC-TF" variant of Albash et al.): θ' = θ +
+// u·π·A(s)/(A(s)+B(s)) with occasional global jumps at the same rate, so
+// move sizes shrink as the problem Hamiltonian overtakes the driver and
+// the dynamics freeze out hard. TF moves retain reverse-anneal initial
+// states essentially perfectly but also block the local cluster repairs
+// that make a hybrid's reverse anneal useful, so the uniform-move model
+// plus the device's final quench (annealer.Params) is the calibrated
+// default; TF remains available for ablation.
+type SVMC struct {
+	TFMoves bool
+	// MinMoveScale floors the TF proposal width (fraction of π) so the
+	// frozen regime retains a sliver of ergodicity (default 0.02).
+	MinMoveScale float64
+}
+
+// Name implements Engine.
+func (e SVMC) Name() string {
+	if e.TFMoves {
+		return "svmc-tf"
+	}
+	return "svmc"
+}
+
+// moveScale is the TF proposal width as a fraction of π: A/(A+B),
+// floored. Early in the schedule (A ≫ B) rotors make full-range moves;
+// as the problem Hamiltonian overtakes the driver the moves shrink and
+// the dynamics freeze out.
+func moveScale(a, b, floor float64) float64 {
+	if a+b <= 0 {
+		return 1
+	}
+	s := a / (a + b)
+	if s < floor {
+		s = floor
+	}
+	return s
+}
+
+// Anneal implements Engine.
+func (e SVMC) Anneal(is *qubo.Ising, sc *Schedule, prof Profile, init []int8, sweepsPerMicrosecond float64, r *rng.Source) []int8 {
+	n := is.N
+	sweeps, err := sweepCount(sc, sweepsPerMicrosecond)
+	if err != nil {
+		panic(err)
+	}
+	beta := 1 / prof.TemperatureGHz
+
+	theta := make([]float64, n)
+	z := make([]float64, n) // cos θ cache
+	if sc.StartsClassical() {
+		if len(init) != n {
+			panic("annealer: SVMC reverse anneal requires an initial state")
+		}
+		for i, s := range init {
+			if s > 0 {
+				theta[i] = 0
+			} else {
+				theta[i] = math.Pi
+			}
+			z[i] = math.Cos(theta[i])
+		}
+	} else {
+		// Forward start: rotors aligned with the transverse field.
+		for i := range theta {
+			theta[i] = math.Pi / 2
+			z[i] = 0
+		}
+	}
+	// zField[i] = h_i + Σ_j J_ij·cos θ_j, maintained incrementally.
+	zField := make([]float64, n)
+	for i := 0; i < n; i++ {
+		f := is.H[i]
+		for _, c := range is.Adj[i] {
+			f += c.J * z[c.To]
+		}
+		zField[i] = f
+	}
+
+	minScale := e.MinMoveScale
+	if minScale <= 0 {
+		minScale = 0.02
+	}
+	duration := sc.Duration()
+	for sweep := 0; sweep < sweeps; sweep++ {
+		t := duration * float64(sweep) / float64(sweeps-1)
+		s := sc.At(t)
+		a := prof.A(s)
+		b := prof.B(s)
+		scale := 1.0
+		if e.TFMoves {
+			scale = moveScale(a, b, minScale)
+		}
+		for k := 0; k < n; k++ {
+			i := r.Intn(n)
+			var nt float64
+			if !e.TFMoves || r.Float64() < scale {
+				// Global move: a fresh uniform angle. Under TF scaling
+				// these occur at rate A/(A+B) — the surrogate for the
+				// multi-spin tunnelling channel that closes as the
+				// transverse field is suppressed.
+				nt = math.Pi * r.Float64()
+			} else {
+				// Local TF-scaled move around the current angle,
+				// reflected into [0, π].
+				nt = theta[i] + (2*r.Float64()-1)*math.Pi*scale
+				if nt < 0 {
+					nt = -nt
+				}
+				if nt > math.Pi {
+					nt = 2*math.Pi - nt
+				}
+			}
+			nz := math.Cos(nt)
+			dE := -a/2*(math.Sin(nt)-math.Sin(theta[i])) + b/2*(nz-z[i])*zField[i]
+			if dE <= 0 || r.Float64() < math.Exp(-beta*dE) {
+				dz := nz - z[i]
+				theta[i] = nt
+				z[i] = nz
+				for _, c := range is.Adj[i] {
+					zField[c.To] += c.J * dz
+				}
+			}
+		}
+	}
+
+	out := make([]int8, n)
+	for i, zi := range z {
+		if zi >= 0 {
+			out[i] = 1
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}

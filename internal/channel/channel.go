@@ -1,0 +1,139 @@
+// Package channel models the wireless channels between users and the base
+// station's antennas: the unit-gain random-phase channel the paper
+// synthesizes instances with (§4.2), the standard i.i.d. Rayleigh-fading
+// channel for the richer end-to-end examples, and AWGN injection with SNR
+// accounting.
+package channel
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+// Model selects the distribution channel matrices are drawn from.
+type Model int
+
+const (
+	// UnitGainRandomPhase draws every entry as e^{jθ} with θ uniform on
+	// [0, 2π): unit amplitude, random phase — the paper's §4.2 workload.
+	UnitGainRandomPhase Model = iota
+	// Rayleigh draws every entry i.i.d. circularly-symmetric complex
+	// Gaussian CN(0, 1).
+	Rayleigh
+)
+
+// String names the model.
+func (m Model) String() string {
+	switch m {
+	case UnitGainRandomPhase:
+		return "unit-gain-random-phase"
+	case Rayleigh:
+		return "rayleigh"
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// Draw samples an nr×nt channel matrix (nr receive antennas, nt users /
+// transmit antennas) from the model.
+func Draw(m Model, r *rng.Source, nr, nt int) *linalg.CMatrix {
+	h := linalg.NewCMatrix(nr, nt)
+	switch m {
+	case UnitGainRandomPhase:
+		for i := range h.Data {
+			theta := 2 * math.Pi * r.Float64()
+			h.Data[i] = cmplx.Exp(complex(0, theta))
+		}
+	case Rayleigh:
+		for i := range h.Data {
+			// CN(0,1): real and imaginary parts N(0, 1/2).
+			h.Data[i] = complex(r.NormFloat64()/math.Sqrt2, r.NormFloat64()/math.Sqrt2)
+		}
+	default:
+		panic("channel: unknown model")
+	}
+	return h
+}
+
+// AWGN adds circularly-symmetric complex Gaussian noise of per-sample
+// variance n0 to y in place and returns y. n0 = 0 is a no-op (the paper's
+// experiments exclude noise).
+func AWGN(r *rng.Source, y []complex128, n0 float64) []complex128 {
+	if n0 < 0 {
+		panic("channel: negative noise variance")
+	}
+	if n0 == 0 {
+		return y
+	}
+	sigma := math.Sqrt(n0 / 2)
+	for i := range y {
+		y[i] += complex(sigma*r.NormFloat64(), sigma*r.NormFloat64())
+	}
+	return y
+}
+
+// NoiseVarianceForSNR returns the per-receive-antenna noise variance N0
+// that realizes a given average receive SNR (dB) for unit-energy transmit
+// symbols over a channel with per-entry second moment gain ≈ 1 and nt
+// transmitters: SNR = nt / N0.
+func NoiseVarianceForSNR(snrDB float64, nt int) float64 {
+	snr := math.Pow(10, snrDB/10)
+	return float64(nt) / snr
+}
+
+// Transmit pushes symbol vector x through channel h and adds noise with
+// variance n0, returning the received vector y = Hx + n.
+func Transmit(r *rng.Source, h *linalg.CMatrix, x []complex128, n0 float64) []complex128 {
+	y := h.MulVec(x)
+	return AWGN(r, y, n0)
+}
+
+// DrawCorrelated samples a Kronecker-correlated Rayleigh channel
+// H = R_rx^{1/2} · H_w · R_tx^{1/2}, with exponential correlation
+// matrices R[i][j] = ρ^{|i−j|} on each side — the standard model for
+// closely spaced antennas, which degrades linear detectors and makes
+// near-ML detection (and hence quantum offload) more valuable.
+// rho ∈ [0, 1); rho = 0 reduces to the i.i.d. Rayleigh channel.
+func DrawCorrelated(r *rng.Source, nr, nt int, rho float64) (*linalg.CMatrix, error) {
+	if rho < 0 || rho >= 1 {
+		return nil, fmt.Errorf("channel: correlation %g must lie in [0, 1)", rho)
+	}
+	hw := Draw(Rayleigh, r, nr, nt)
+	if rho == 0 {
+		return hw, nil
+	}
+	rxHalf, err := sqrtExpCorrelation(nr, rho)
+	if err != nil {
+		return nil, err
+	}
+	txHalf, err := sqrtExpCorrelation(nt, rho)
+	if err != nil {
+		return nil, err
+	}
+	return rxHalf.Mul(hw).Mul(txHalf), nil
+}
+
+// sqrtExpCorrelation returns the (real, SPD) Cholesky square root of the
+// exponential correlation matrix R[i][j] = ρ^{|i−j|}, lifted to complex.
+func sqrtExpCorrelation(n int, rho float64) (*linalg.CMatrix, error) {
+	m := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, math.Pow(rho, math.Abs(float64(i-j))))
+		}
+	}
+	l, err := m.Cholesky()
+	if err != nil {
+		return nil, fmt.Errorf("channel: correlation matrix not SPD: %w", err)
+	}
+	out := linalg.NewCMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.Set(i, j, complex(l.At(i, j), 0))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,221 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+func TestUnitGainEntriesHaveUnitMagnitude(t *testing.T) {
+	r := rng.New(1)
+	h := Draw(UnitGainRandomPhase, r, 8, 8)
+	for _, v := range h.Data {
+		if math.Abs(cmplx.Abs(v)-1) > 1e-12 {
+			t.Fatalf("entry %v has magnitude %v", v, cmplx.Abs(v))
+		}
+	}
+}
+
+func TestUnitGainPhaseUniform(t *testing.T) {
+	r := rng.New(2)
+	h := Draw(UnitGainRandomPhase, r, 100, 100)
+	// Mean of e^{jθ} over uniform θ is 0; with 10⁴ samples the sample
+	// mean magnitude should be ≪ 1.
+	var sum complex128
+	for _, v := range h.Data {
+		sum += v
+	}
+	mean := sum / complex(float64(len(h.Data)), 0)
+	if cmplx.Abs(mean) > 0.05 {
+		t.Fatalf("phase not uniform: |mean| = %v", cmplx.Abs(mean))
+	}
+	// Quadrant balance.
+	quad := [4]int{}
+	for _, v := range h.Data {
+		i := 0
+		if real(v) < 0 {
+			i |= 1
+		}
+		if imag(v) < 0 {
+			i |= 2
+		}
+		quad[i]++
+	}
+	n := float64(len(h.Data))
+	for q, c := range quad {
+		if math.Abs(float64(c)-n/4) > 5*math.Sqrt(n/4) {
+			t.Fatalf("quadrant %d has %d of %v entries", q, c, n)
+		}
+	}
+}
+
+func TestRayleighMoments(t *testing.T) {
+	r := rng.New(3)
+	h := Draw(Rayleigh, r, 200, 200)
+	var sumRe, sumIm, sumPow float64
+	for _, v := range h.Data {
+		sumRe += real(v)
+		sumIm += imag(v)
+		sumPow += real(v)*real(v) + imag(v)*imag(v)
+	}
+	n := float64(len(h.Data))
+	if math.Abs(sumRe/n) > 0.01 || math.Abs(sumIm/n) > 0.01 {
+		t.Fatalf("Rayleigh mean (%v, %v) not ≈ 0", sumRe/n, sumIm/n)
+	}
+	if math.Abs(sumPow/n-1) > 0.02 {
+		t.Fatalf("Rayleigh power %v not ≈ 1", sumPow/n)
+	}
+}
+
+func TestDrawDeterministic(t *testing.T) {
+	a := Draw(UnitGainRandomPhase, rng.New(7), 4, 4)
+	b := Draw(UnitGainRandomPhase, rng.New(7), 4, 4)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("Draw not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestAWGNZeroIsNoop(t *testing.T) {
+	r := rng.New(4)
+	y := []complex128{1 + 2i, 3}
+	orig := append([]complex128(nil), y...)
+	AWGN(r, y, 0)
+	for i := range y {
+		if y[i] != orig[i] {
+			t.Fatal("zero-variance AWGN modified the signal")
+		}
+	}
+}
+
+func TestAWGNVariance(t *testing.T) {
+	r := rng.New(5)
+	n := 100000
+	y := make([]complex128, n)
+	AWGN(r, y, 2.0)
+	var pow float64
+	for _, v := range y {
+		pow += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if got := pow / float64(n); math.Abs(got-2.0) > 0.05 {
+		t.Fatalf("noise power %v, want 2.0", got)
+	}
+}
+
+func TestAWGNNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative variance did not panic")
+		}
+	}()
+	AWGN(rng.New(1), []complex128{0}, -1)
+}
+
+func TestNoiseVarianceForSNR(t *testing.T) {
+	// 0 dB with 4 users: N0 = 4.
+	if got := NoiseVarianceForSNR(0, 4); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("N0 = %v", got)
+	}
+	// 10 dB with 1 user: N0 = 0.1.
+	if got := NoiseVarianceForSNR(10, 1); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("N0 = %v", got)
+	}
+}
+
+func TestTransmitNoiselessIsExact(t *testing.T) {
+	r := rng.New(6)
+	h := linalg.CMatrixFromRows([][]complex128{{1, 1i}, {2, 0}})
+	x := []complex128{1, 1}
+	y := Transmit(r, h, x, 0)
+	want := []complex128{1 + 1i, 2}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("y = %v", y)
+		}
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if UnitGainRandomPhase.String() != "unit-gain-random-phase" || Rayleigh.String() != "rayleigh" {
+		t.Fatal("model names wrong")
+	}
+}
+
+func TestDrawCorrelatedValidation(t *testing.T) {
+	r := rng.New(8)
+	if _, err := DrawCorrelated(r, 4, 4, -0.1); err == nil {
+		t.Fatal("negative rho accepted")
+	}
+	if _, err := DrawCorrelated(r, 4, 4, 1.0); err == nil {
+		t.Fatal("rho=1 accepted")
+	}
+}
+
+func TestDrawCorrelatedZeroRhoIsRayleigh(t *testing.T) {
+	a, err := DrawCorrelated(rng.New(9), 4, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Draw(Rayleigh, rng.New(9), 4, 4)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("rho=0 differs from i.i.d. Rayleigh")
+		}
+	}
+}
+
+// TestDrawCorrelatedNeighborCorrelation: adjacent receive antennas' rows
+// must correlate near rho, far pairs near rho^|i-j|.
+func TestDrawCorrelatedNeighborCorrelation(t *testing.T) {
+	r := rng.New(10)
+	const rho = 0.7
+	const n = 8
+	const trials = 400
+	var c01, c07, p0 float64
+	for k := 0; k < trials; k++ {
+		h, err := DrawCorrelated(r, n, n, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Empirical E[h_{0j}·conj(h_{1j})] vs E[|h_{0j}|²].
+		for j := 0; j < n; j++ {
+			c01 += real(h.At(0, j) * cmplx.Conj(h.At(1, j)))
+			c07 += real(h.At(0, j) * cmplx.Conj(h.At(7, j)))
+			p0 += real(h.At(0, j) * cmplx.Conj(h.At(0, j)))
+		}
+	}
+	corr01 := c01 / p0
+	corr07 := c07 / p0
+	if math.Abs(corr01-rho) > 0.08 {
+		t.Fatalf("adjacent-row correlation %v, want ≈ %v", corr01, rho)
+	}
+	want07 := math.Pow(rho, 7)
+	if math.Abs(corr07-want07) > 0.08 {
+		t.Fatalf("distant-row correlation %v, want ≈ %v", corr07, want07)
+	}
+}
+
+// TestDrawCorrelatedPreservesPower: the Kronecker construction keeps the
+// average per-entry power at 1.
+func TestDrawCorrelatedPreservesPower(t *testing.T) {
+	r := rng.New(11)
+	var pow float64
+	const trials = 200
+	for k := 0; k < trials; k++ {
+		h, err := DrawCorrelated(r, 6, 6, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range h.Data {
+			pow += real(v)*real(v) + imag(v)*imag(v)
+		}
+	}
+	avg := pow / float64(trials*36)
+	if math.Abs(avg-1) > 0.05 {
+		t.Fatalf("per-entry power %v, want ≈ 1", avg)
+	}
+}

@@ -1,0 +1,51 @@
+package coding
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// FuzzEncodeDecodeRoundTrip: clean-channel decode always recovers the
+// information bits, for both codes and arbitrary packet contents.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint8(10), false)
+	f.Add(uint64(2), uint8(63), true)
+	f.Fuzz(func(t *testing.T, seed uint64, lenByte uint8, longCode bool) {
+		code := NewConvCode75()
+		if longCode {
+			code = NewConvCode133171()
+		}
+		n := 1 + int(lenByte)%96
+		info := randomBits(rng.New(seed), n)
+		coded, err := code.Encode(info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := code.DecodeHard(coded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if BitErrors(info, decoded) != 0 {
+			t.Fatalf("round trip failed for %d bits", n)
+		}
+	})
+}
+
+// FuzzDecodeNeverPanics: arbitrary (well-shaped) LLR inputs must decode
+// or error, never panic.
+func FuzzDecodeNeverPanics(f *testing.F) {
+	f.Add(uint64(5), uint8(12))
+	f.Fuzz(func(t *testing.T, seed uint64, lenByte uint8) {
+		code := NewConvCode75()
+		steps := 2 + int(lenByte)%40
+		r := rng.New(seed)
+		llrs := make([]float64, steps*2)
+		for i := range llrs {
+			llrs[i] = 10 * r.NormFloat64()
+		}
+		if _, err := code.DecodeSoft(llrs); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,183 @@
+// Package core implements the paper's contribution: hybrid classical-
+// quantum computation structures for wireless MIMO detection.
+//
+// The prototype of §4.1 is the pre-processing structure of Figure 1: a
+// classical module (Greedy Search by default, or any detector/heuristic)
+// produces a candidate solution that programs the initial state of a
+// Reverse Annealing run on the (simulated) quantum annealer; the best
+// anneal sample is the detection output. The package also provides the
+// other two coordination structures Figure 1 sketches — post-processing
+// (quantum first, classical refinement after) and co-processing
+// (alternating rounds) — plus the s_p parameter search of Challenge 2.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/annealer"
+	"repro/internal/mimo"
+	"repro/internal/qubo"
+	"repro/internal/rng"
+)
+
+// ClassicalModule produces a candidate spin state for a reduced detection
+// problem — the classical half of the hybrid design.
+type ClassicalModule interface {
+	// Initialize returns a candidate spin configuration.
+	Initialize(red *mimo.Reduction, r *rng.Source) ([]int8, error)
+	// Name identifies the module in experiment output.
+	Name() string
+}
+
+// GreedyModule is the paper's §4.1(1) classical module: deterministic
+// greedy search over the QUBO/Ising form.
+type GreedyModule struct {
+	Order qubo.GreedyOrder
+}
+
+// Name implements ClassicalModule.
+func (GreedyModule) Name() string { return "gs" }
+
+// Initialize implements ClassicalModule.
+func (m GreedyModule) Initialize(red *mimo.Reduction, _ *rng.Source) ([]int8, error) {
+	return qubo.GreedySearchIsing(red.Ising, m.Order), nil
+}
+
+// RandomModule draws a uniformly random initial state — Figure 6
+// (center)'s baseline showing that RA needs a GOOD initial state.
+type RandomModule struct{}
+
+// Name implements ClassicalModule.
+func (RandomModule) Name() string { return "random" }
+
+// Initialize implements ClassicalModule.
+func (RandomModule) Initialize(red *mimo.Reduction, r *rng.Source) ([]int8, error) {
+	return qubo.RandomSample(red.Ising, r).Spins, nil
+}
+
+// DetectorModule adapts any MIMO detector (ZF, MMSE, K-best, FCSD, …)
+// into a classical module — the "application-specific classical solvers"
+// the conclusion proposes: the detector's symbol estimate is encoded as
+// the initial spin state.
+type DetectorModule struct {
+	Detector mimo.Detector
+}
+
+// Name implements ClassicalModule.
+func (m DetectorModule) Name() string { return m.Detector.Name() }
+
+// Initialize implements ClassicalModule.
+func (m DetectorModule) Initialize(red *mimo.Reduction, _ *rng.Source) ([]int8, error) {
+	symbols, err := m.Detector.Detect(red.Problem())
+	if err != nil {
+		return nil, err
+	}
+	return red.EncodeSymbols(symbols)
+}
+
+// SAModule uses classical simulated annealing as the initializer — a
+// stronger (and slower) classical module for ablations.
+type SAModule struct {
+	Opts qubo.SAOptions
+}
+
+// Name implements ClassicalModule.
+func (SAModule) Name() string { return "sa" }
+
+// Initialize implements ClassicalModule.
+func (m SAModule) Initialize(red *mimo.Reduction, r *rng.Source) ([]int8, error) {
+	return qubo.SimulatedAnnealing(red.Ising, r, m.Opts).Spins, nil
+}
+
+// PTModule uses parallel tempering (replica-exchange Monte Carlo, the
+// paper's reference [48] among quantum-inspired methods) as the
+// classical module — the strongest pure-classical initializer in the
+// repository, for calibrating how much headroom the quantum module has.
+type PTModule struct {
+	Opts qubo.PTOptions
+}
+
+// Name implements ClassicalModule.
+func (PTModule) Name() string { return "pt" }
+
+// Initialize implements ClassicalModule.
+func (m PTModule) Initialize(red *mimo.Reduction, r *rng.Source) ([]int8, error) {
+	return qubo.ParallelTempering(red.Ising, r, m.Opts).Spins, nil
+}
+
+// FixedModule replays a pre-computed state — used to study RA performance
+// as a function of the initial state's quality (Figures 7 and 8).
+type FixedModule struct {
+	State []int8
+}
+
+// Name implements ClassicalModule.
+func (FixedModule) Name() string { return "fixed" }
+
+// Initialize implements ClassicalModule.
+func (m FixedModule) Initialize(red *mimo.Reduction, _ *rng.Source) ([]int8, error) {
+	if len(m.State) != red.NumSpins() {
+		return nil, fmt.Errorf("core: fixed state has %d spins, problem needs %d", len(m.State), red.NumSpins())
+	}
+	return m.State, nil
+}
+
+// AnnealConfig bundles the simulated-device settings shared by all
+// solvers so comparisons hold them fixed.
+type AnnealConfig struct {
+	// Engine simulates the quantum dynamics (default annealer.SVMC{}).
+	Engine annealer.Engine
+	// Profile sets energy scales (default the 2000Q profile).
+	Profile *annealer.Profile
+	// SweepsPerMicrosecond is the simulation clock rate (default 100).
+	SweepsPerMicrosecond float64
+	// ICE is per-read control-error noise.
+	ICE annealer.ICE
+	// QPU, when set, routes every anneal through Chimera embedding.
+	QPU *annealer.QPU
+	// Parallelism fans anneal reads across goroutines (deterministic at
+	// any level; default sequential).
+	Parallelism int
+}
+
+func (c AnnealConfig) params(sc *annealer.Schedule, init []int8, reads int) annealer.Params {
+	return annealer.Params{
+		Schedule:             sc,
+		InitialState:         init,
+		NumReads:             reads,
+		Engine:               c.Engine,
+		Profile:              c.Profile,
+		SweepsPerMicrosecond: c.SweepsPerMicrosecond,
+		ICE:                  c.ICE,
+		Parallelism:          c.Parallelism,
+	}
+}
+
+// run dispatches to the embedded QPU or the logical sampler.
+func (c AnnealConfig) run(is *qubo.Ising, p annealer.Params, r *rng.Source) (*annealer.Result, error) {
+	if c.QPU != nil {
+		return c.QPU.Run(is, p, r)
+	}
+	return annealer.Run(is, p, r)
+}
+
+// Outcome reports one hybrid solve.
+type Outcome struct {
+	// Symbols is the detected symbol vector (from the best sample).
+	Symbols []complex128
+	// Best is the lowest-energy sample across the anneal reads and the
+	// classical candidate.
+	Best qubo.Sample
+	// Samples are the raw anneal reads.
+	Samples []qubo.Sample
+	// InitialState and InitialEnergy describe the classical candidate fed
+	// to the quantum module.
+	InitialState  []int8
+	InitialEnergy float64
+	// AnnealTime is the total quantum schedule time consumed (μs).
+	AnnealTime float64
+	// ScheduleDuration is one read's schedule length (μs).
+	ScheduleDuration float64
+	// BrokenChainRate carries over from embedded runs.
+	BrokenChainRate float64
+}

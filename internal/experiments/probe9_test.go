@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/instance"
+	"repro/internal/metrics"
+	"repro/internal/modulation"
+	"repro/internal/rng"
+)
+
+func TestProbeFig6Sp(t *testing.T) {
+	if os.Getenv("PROBE") == "" {
+		t.Skip("probe")
+	}
+	cfg := Config{Seed: 2020, Instances: 4, Reads: 150}.withDefaults()
+	for _, s := range []modulation.Scheme{modulation.QPSK, modulation.QAM16, modulation.QAM64} {
+		users, _ := instance.VariableBudgetUsers(s, 36)
+		insts, _ := instance.Corpus(instance.Spec{Users: users, Scheme: s}, cfg.Seed^uint64(1000+int(s)), cfg.Instances)
+		for _, sp := range []float64{0.45, 0.53, 0.61, 0.69} {
+			var meanRA, meanFA, lowRA, lowFA float64
+			n := 0
+			for ii, in := range insts {
+				r := rng.New(uint64(ii)*31 + uint64(sp*100))
+				ra := &core.Hybrid{Sp: sp, NumReads: cfg.Reads, Config: cfg.annealConfig()}
+				ro, err := ra.Solve(in.Reduction, r.Split(1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				fa := &core.ForwardSolver{NumReads: cfg.Reads, Config: cfg.annealConfig()}
+				fo, _ := fa.Solve(in.Reduction, r.Split(2))
+				for _, smp := range ro.Samples {
+					d := metrics.DeltaEForIsing(in.Reduction.Ising, smp.Energy, in.GroundEnergy)
+					meanRA += d
+					if d <= 10 {
+						lowRA++
+					}
+					n++
+				}
+				for _, smp := range fo.Samples {
+					d := metrics.DeltaEForIsing(in.Reduction.Ising, smp.Energy, in.GroundEnergy)
+					meanFA += d
+					if d <= 10 {
+						lowFA++
+					}
+				}
+			}
+			fmt.Printf("%-7s sp=%.2f  RA: mean=%.2f low=%.2f   FA: mean=%.2f low=%.2f\n",
+				s, sp, meanRA/float64(n), lowRA/float64(n), meanFA/float64(n), lowFA/float64(n))
+		}
+	}
+}

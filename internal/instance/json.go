@@ -1,0 +1,130 @@
+package instance
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/linalg"
+	"repro/internal/mimo"
+	"repro/internal/modulation"
+)
+
+// wireComplex is a JSON-safe complex number [re, im].
+type wireComplex [2]float64
+
+func toWire(v complex128) wireComplex { return wireComplex{real(v), imag(v)} }
+
+func fromWire(w wireComplex) complex128 { return complex(w[0], w[1]) }
+
+// wireInstance is the serialized form of an Instance. The reduction and
+// ground truth are recomputed on load, so the wire format stays minimal
+// and cannot go stale against the code.
+type wireInstance struct {
+	Users         int             `json:"users"`
+	Scheme        string          `json:"scheme"`
+	Channel       string          `json:"channel"`
+	NoiseVariance float64         `json:"noise_variance"`
+	Seed          uint64          `json:"seed"`
+	H             [][]wireComplex `json:"h"`
+	Y             []wireComplex   `json:"y"`
+	Transmitted   []wireComplex   `json:"transmitted"`
+}
+
+// MarshalJSON serializes the instance's problem and provenance.
+func (in *Instance) MarshalJSON() ([]byte, error) {
+	w := wireInstance{
+		Users:         in.Spec.Users,
+		Scheme:        schemeName(in.Spec.Scheme),
+		Channel:       in.Spec.Channel.String(),
+		NoiseVariance: in.Spec.NoiseVariance,
+		Seed:          in.Spec.Seed,
+	}
+	h := in.Problem.H
+	w.H = make([][]wireComplex, h.Rows)
+	for r := 0; r < h.Rows; r++ {
+		row := make([]wireComplex, h.Cols)
+		for c := 0; c < h.Cols; c++ {
+			row[c] = toWire(h.At(r, c))
+		}
+		w.H[r] = row
+	}
+	for _, v := range in.Problem.Y {
+		w.Y = append(w.Y, toWire(v))
+	}
+	for _, v := range in.Transmitted {
+		w.Transmitted = append(w.Transmitted, toWire(v))
+	}
+	return json.Marshal(w)
+}
+
+func schemeName(s modulation.Scheme) string {
+	switch s {
+	case modulation.BPSK:
+		return "bpsk"
+	case modulation.QPSK:
+		return "qpsk"
+	case modulation.QAM16:
+		return "16qam"
+	case modulation.QAM64:
+		return "64qam"
+	}
+	return "unknown"
+}
+
+// UnmarshalJSON restores an instance, recomputing its reduction and
+// ground truth.
+func (in *Instance) UnmarshalJSON(data []byte) error {
+	var w wireInstance
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	scheme, err := modulation.ParseScheme(w.Scheme)
+	if err != nil {
+		return err
+	}
+	if len(w.H) == 0 || len(w.Y) != len(w.H) {
+		return fmt.Errorf("instance: malformed wire matrix")
+	}
+	h := linalg.NewCMatrix(len(w.H), len(w.H[0]))
+	for r, row := range w.H {
+		if len(row) != h.Cols {
+			return fmt.Errorf("instance: ragged wire matrix")
+		}
+		for c, v := range row {
+			h.Set(r, c, fromWire(v))
+		}
+	}
+	y := make([]complex128, len(w.Y))
+	for i, v := range w.Y {
+		y[i] = fromWire(v)
+	}
+	x := make([]complex128, len(w.Transmitted))
+	for i, v := range w.Transmitted {
+		x[i] = fromWire(v)
+	}
+	p := &mimo.Problem{H: h, Y: y, Scheme: scheme}
+	red, err := mimo.Reduce(p)
+	if err != nil {
+		return err
+	}
+	in.Spec = Spec{Users: w.Users, Scheme: scheme, NoiseVariance: w.NoiseVariance, Seed: w.Seed}
+	in.Problem = p
+	in.Transmitted = x
+	in.Reduction = red
+	if w.NoiseVariance == 0 && len(x) > 0 {
+		in.Optimal = x
+	} else {
+		opt, err := (mimo.SphereDecoder{}).Detect(p)
+		if err != nil {
+			return err
+		}
+		in.Optimal = opt
+	}
+	spins, err := red.EncodeSymbols(in.Optimal)
+	if err != nil {
+		return err
+	}
+	in.GroundSpins = spins
+	in.GroundEnergy = red.Ising.Energy(spins)
+	return nil
+}

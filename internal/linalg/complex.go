@@ -1,0 +1,352 @@
+// Package linalg implements the dense real and complex linear algebra used
+// by the MIMO detectors and the ML-to-QUBO reduction.
+//
+// The package is deliberately small and allocation-conscious rather than
+// general: matrices are dense row-major float64/complex128 buffers, and the
+// factorizations provided (Gaussian elimination, Householder QR, Cholesky)
+// are exactly the ones the detectors need. Everything is stdlib-only.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+)
+
+// CMatrix is a dense row-major complex matrix.
+type CMatrix struct {
+	Rows, Cols int
+	Data       []complex128 // len Rows*Cols, Data[r*Cols+c]
+}
+
+// NewCMatrix returns a zeroed rows×cols complex matrix.
+func NewCMatrix(rows, cols int) *CMatrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative dimension")
+	}
+	return &CMatrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// CMatrixFromRows builds a matrix from row slices, which must be rectangular.
+func CMatrixFromRows(rows [][]complex128) *CMatrix {
+	if len(rows) == 0 {
+		return NewCMatrix(0, 0)
+	}
+	m := NewCMatrix(len(rows), len(rows[0]))
+	for r, row := range rows {
+		if len(row) != m.Cols {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[r*m.Cols:(r+1)*m.Cols], row)
+	}
+	return m
+}
+
+// CIdentity returns the n×n complex identity.
+func CIdentity(n int) *CMatrix {
+	m := NewCMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (r, c).
+func (m *CMatrix) At(r, c int) complex128 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *CMatrix) Set(r, c int, v complex128) { m.Data[r*m.Cols+c] = v }
+
+// Clone returns a deep copy.
+func (m *CMatrix) Clone() *CMatrix {
+	out := NewCMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// ConjTranspose returns the Hermitian transpose Mᴴ.
+func (m *CMatrix) ConjTranspose() *CMatrix {
+	out := NewCMatrix(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			out.Data[c*out.Cols+r] = cmplx.Conj(m.Data[r*m.Cols+c])
+		}
+	}
+	return out
+}
+
+// Mul returns m·b.
+func (m *CMatrix) Mul(b *CMatrix) *CMatrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul dimension mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewCMatrix(m.Rows, b.Cols)
+	for r := 0; r < m.Rows; r++ {
+		mrow := m.Data[r*m.Cols : (r+1)*m.Cols]
+		orow := out.Data[r*out.Cols : (r+1)*out.Cols]
+		for k, mv := range mrow {
+			if mv == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for c, bv := range brow {
+				orow[c] += mv * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m·x for a column vector x.
+func (m *CMatrix) MulVec(x []complex128) []complex128 {
+	if m.Cols != len(x) {
+		panic("linalg: MulVec dimension mismatch")
+	}
+	out := make([]complex128, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		var sum complex128
+		for c, v := range row {
+			sum += v * x[c]
+		}
+		out[r] = sum
+	}
+	return out
+}
+
+// Add returns m + b.
+func (m *CMatrix) Add(b *CMatrix) *CMatrix {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("linalg: Add dimension mismatch")
+	}
+	out := NewCMatrix(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Scale returns a·m.
+func (m *CMatrix) Scale(a complex128) *CMatrix {
+	out := NewCMatrix(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = a * v
+	}
+	return out
+}
+
+// AddScaledIdentity returns m + a·I for square m.
+func (m *CMatrix) AddScaledIdentity(a complex128) *CMatrix {
+	if m.Rows != m.Cols {
+		panic("linalg: AddScaledIdentity on non-square matrix")
+	}
+	out := m.Clone()
+	for i := 0; i < m.Rows; i++ {
+		out.Data[i*m.Cols+i] += a
+	}
+	return out
+}
+
+// Inverse returns m⁻¹ via Gauss-Jordan elimination with partial pivoting.
+// It reports an error when the matrix is singular to working precision.
+func (m *CMatrix) Inverse() (*CMatrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("linalg: inverse of non-square %dx%d matrix", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	a := m.Clone()
+	inv := CIdentity(n)
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest magnitude in this column at or below col.
+		pivot := col
+		best := cmplx.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if mag := cmplx.Abs(a.At(r, col)); mag > best {
+				best, pivot = mag, r
+			}
+		}
+		if best < 1e-300 {
+			return nil, fmt.Errorf("linalg: singular matrix (pivot %d)", col)
+		}
+		if pivot != col {
+			a.swapRows(pivot, col)
+			inv.swapRows(pivot, col)
+		}
+		p := a.At(col, col)
+		invP := 1 / p
+		for c := 0; c < n; c++ {
+			a.Data[col*n+c] *= invP
+			inv.Data[col*n+c] *= invP
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for c := 0; c < n; c++ {
+				a.Data[r*n+c] -= f * a.Data[col*n+c]
+				inv.Data[r*n+c] -= f * inv.Data[col*n+c]
+			}
+		}
+	}
+	return inv, nil
+}
+
+func (m *CMatrix) swapRows(i, j int) {
+	ri := m.Data[i*m.Cols : (i+1)*m.Cols]
+	rj := m.Data[j*m.Cols : (j+1)*m.Cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// QR computes the thin Householder QR decomposition m = Q·R with Q
+// (Rows×Cols) having orthonormal columns and R (Cols×Cols) upper
+// triangular. Requires Rows >= Cols.
+func (m *CMatrix) QR() (q, r *CMatrix, err error) {
+	rows, cols := m.Rows, m.Cols
+	if rows < cols {
+		return nil, nil, fmt.Errorf("linalg: QR requires rows >= cols, got %dx%d", rows, cols)
+	}
+	a := m.Clone()
+	// Accumulate Householder vectors; build Q by applying reflectors to I.
+	vs := make([][]complex128, 0, cols)
+	for k := 0; k < cols; k++ {
+		// Compute the reflector for column k below the diagonal.
+		var normSq float64
+		for i := k; i < rows; i++ {
+			v := a.At(i, k)
+			normSq += real(v)*real(v) + imag(v)*imag(v)
+		}
+		norm := math.Sqrt(normSq)
+		if norm == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		akk := a.At(k, k)
+		// alpha = -exp(i·arg(akk))·norm keeps the reflector well conditioned.
+		phase := complex(1, 0)
+		if akk != 0 {
+			phase = akk / complex(cmplx.Abs(akk), 0)
+		}
+		alpha := -phase * complex(norm, 0)
+		v := make([]complex128, rows-k)
+		for i := k; i < rows; i++ {
+			v[i-k] = a.At(i, k)
+		}
+		v[0] -= alpha
+		var vNormSq float64
+		for _, vv := range v {
+			vNormSq += real(vv)*real(vv) + imag(vv)*imag(vv)
+		}
+		if vNormSq < 1e-300 {
+			vs = append(vs, nil)
+			continue
+		}
+		// Apply (I - 2 v vᴴ / ‖v‖²) to the trailing submatrix of a.
+		for c := k; c < cols; c++ {
+			var dot complex128
+			for i := k; i < rows; i++ {
+				dot += cmplx.Conj(v[i-k]) * a.At(i, c)
+			}
+			f := 2 * dot / complex(vNormSq, 0)
+			for i := k; i < rows; i++ {
+				a.Data[i*cols+c] -= f * v[i-k]
+			}
+		}
+		vs = append(vs, v)
+	}
+	r = NewCMatrix(cols, cols)
+	for i := 0; i < cols; i++ {
+		for j := i; j < cols; j++ {
+			r.Set(i, j, a.At(i, j))
+		}
+	}
+	// Q = H_0 H_1 … H_{cols-1} applied to the first cols columns of I.
+	q = NewCMatrix(rows, cols)
+	for i := 0; i < cols; i++ {
+		q.Set(i, i, 1)
+	}
+	for k := cols - 1; k >= 0; k-- {
+		v := vs[k]
+		if v == nil {
+			continue
+		}
+		var vNormSq float64
+		for _, vv := range v {
+			vNormSq += real(vv)*real(vv) + imag(vv)*imag(vv)
+		}
+		for c := 0; c < cols; c++ {
+			var dot complex128
+			for i := k; i < rows; i++ {
+				dot += cmplx.Conj(v[i-k]) * q.At(i, c)
+			}
+			f := 2 * dot / complex(vNormSq, 0)
+			for i := k; i < rows; i++ {
+				q.Data[i*cols+c] -= f * v[i-k]
+			}
+		}
+	}
+	return q, r, nil
+}
+
+// FrobeniusNorm returns ‖m‖_F.
+func (m *CMatrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return math.Sqrt(s)
+}
+
+// String renders the matrix for debugging.
+func (m *CMatrix) String() string {
+	var b strings.Builder
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			if c > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%6.3f%+6.3fi", real(m.At(r, c)), imag(m.At(r, c)))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CVecSub returns a−b elementwise.
+func CVecSub(a, b []complex128) []complex128 {
+	if len(a) != len(b) {
+		panic("linalg: CVecSub length mismatch")
+	}
+	out := make([]complex128, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// CVecNormSq returns ‖x‖² = Σ|x_i|².
+func CVecNormSq(x []complex128) float64 {
+	var s float64
+	for _, v := range x {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return s
+}
+
+// CVecDot returns aᴴ·b.
+func CVecDot(a, b []complex128) complex128 {
+	if len(a) != len(b) {
+		panic("linalg: CVecDot length mismatch")
+	}
+	var s complex128
+	for i := range a {
+		s += cmplx.Conj(a[i]) * b[i]
+	}
+	return s
+}

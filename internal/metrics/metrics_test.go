@@ -1,0 +1,264 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/qubo"
+)
+
+func TestDeltaEPercent(t *testing.T) {
+	// Ground −100, sample −90: 10% away.
+	if got := DeltaEPercent(-90, -100); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("ΔE%% = %v", got)
+	}
+	// At the optimum: 0%.
+	if got := DeltaEPercent(-100, -100); got != 0 {
+		t.Fatalf("ΔE%% at optimum = %v", got)
+	}
+	// Matches the paper's |E| form on the negative range:
+	// 100·(|Eg|−|Es|)/|Eg|.
+	eg, es := -57.3, -31.9
+	want := 100 * (math.Abs(eg) - math.Abs(es)) / math.Abs(eg)
+	if got := DeltaEPercent(es, eg); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ΔE%% = %v, want paper form %v", got, want)
+	}
+}
+
+func TestDeltaEPercentMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Abs(math.Mod(a, 100)), math.Abs(math.Mod(b, 100))
+		if a == b {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		// Higher energy → higher ΔE%.
+		return DeltaEPercent(-lo, -200) > DeltaEPercent(-hi, -200)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaEPercentZeroGroundPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero ground energy accepted")
+		}
+	}()
+	DeltaEPercent(1, 0)
+}
+
+func TestDeltaEForIsingStripsOffset(t *testing.T) {
+	is := qubo.NewIsing(2)
+	is.Offset = 50
+	// Total energies 50 (ground, offset-free 0? no—) ground total 40 →
+	// offset-free −10; sample total 45 → offset-free −5: ΔE% = 50%.
+	got := DeltaEForIsing(is, 45, 40)
+	if math.Abs(got-50) > 1e-12 {
+		t.Fatalf("ΔE%% = %v", got)
+	}
+}
+
+func TestSuccessProbability(t *testing.T) {
+	samples := []qubo.Sample{
+		{Energy: -10}, {Energy: -10}, {Energy: -9}, {Energy: -5},
+	}
+	if got := SuccessProbability(samples, -10, 1e-9); got != 0.5 {
+		t.Fatalf("p★ = %v", got)
+	}
+	if got := SuccessProbability(nil, -10, 0); got != 0 {
+		t.Fatalf("empty p★ = %v", got)
+	}
+	// Tolerance widens the success set.
+	if got := SuccessProbability(samples, -10, 1.5); got != 0.75 {
+		t.Fatalf("tolerant p★ = %v", got)
+	}
+}
+
+func TestTTSKnownValues(t *testing.T) {
+	// p★ = 0.5, ct = 99: runs = ln(0.01)/ln(0.5) ≈ 6.64.
+	got := TTS(2.0, 0.5, 99)
+	want := 2.0 * math.Log(0.01) / math.Log(0.5)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("TTS = %v, want %v", got, want)
+	}
+	if !math.IsInf(TTS(1, 0, 99), 1) {
+		t.Fatal("p★=0 should give infinite TTS")
+	}
+	if TTS(3, 1, 99) != 3 {
+		t.Fatal("p★=1 should give one duration")
+	}
+	// Floor at one run: p★ = 0.999, ct = 50 — formula would say < 1 run.
+	if TTS(3, 0.999, 50) != 3 {
+		t.Fatal("TTS not floored at one run")
+	}
+}
+
+func TestTTSMonotoneInPstar(t *testing.T) {
+	prev := math.Inf(1)
+	for _, p := range []float64{0.01, 0.05, 0.2, 0.5, 0.9} {
+		cur := TTS(1, p, 99)
+		if cur > prev {
+			t.Fatalf("TTS not decreasing in p★ at %v", p)
+		}
+		prev = cur
+	}
+}
+
+func TestTTSPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { TTS(0, 0.5, 99) },
+		func() { TTS(1, 0.5, 0) },
+		func() { TTS(1, 0.5, 100) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad TTS arguments accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMeanMedianPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if Mean(xs) != 2.5 {
+		t.Fatalf("mean %v", Mean(xs))
+	}
+	if Median(xs) != 2.5 {
+		t.Fatalf("median %v", Median(xs))
+	}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 4 {
+		t.Fatal("percentile endpoints wrong")
+	}
+	if got := Percentile([]float64{1, 2, 3, 4, 5}, 50); got != 3 {
+		t.Fatalf("odd median %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty input should be NaN")
+	}
+}
+
+func TestPercentileOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad percentile accepted")
+		}
+	}()
+	Percentile([]float64{1}, 101)
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(50, 100)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("interval [%v, %v] excludes the point estimate", lo, hi)
+	}
+	if lo < 0.38 || hi > 0.62 {
+		t.Fatalf("interval [%v, %v] implausibly wide for n=100", lo, hi)
+	}
+	// Extreme proportions stay in [0, 1].
+	lo, hi = WilsonInterval(0, 10)
+	if lo != 0 || hi > 0.35 {
+		t.Fatalf("k=0 interval [%v, %v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(10, 10)
+	if hi != 1 || lo < 0.65 {
+		t.Fatalf("k=n interval [%v, %v]", lo, hi)
+	}
+	lo, hi = WilsonInterval(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Fatal("empty interval should be [0, 1]")
+	}
+	// Narrower with more data.
+	lo1, hi1 := WilsonInterval(5, 10)
+	lo2, hi2 := WilsonInterval(500, 1000)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Fatal("interval not shrinking with n")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0.5, 1, 3, 3.9, 9.9, -5, 15} {
+		h.Add(x)
+	}
+	if h.Total != 7 {
+		t.Fatalf("total %d", h.Total)
+	}
+	// Bin 0 holds 0.5, 1, and the clamped −5.
+	if h.Counts[0] != 3 {
+		t.Fatalf("bin 0 count %d", h.Counts[0])
+	}
+	// Bin 4 holds 9.9 and the clamped 15.
+	if h.Counts[4] != 2 {
+		t.Fatalf("bin 4 count %d", h.Counts[4])
+	}
+	var total float64
+	for i := range h.Counts {
+		total += h.Fraction(i)
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("fractions sum to %v", total)
+	}
+	if h.BinCenter(0) != 1 || h.BinCenter(4) != 9 {
+		t.Fatal("bin centers wrong")
+	}
+	if h.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestHistogramBadShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad histogram accepted")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestBinned(t *testing.T) {
+	b := NewBinned(0, 2, 5) // bins [0,2) [2,4) ... [8,10)
+	b.Add(1, 10)
+	b.Add(1.5, 20)
+	b.Add(9, 7)
+	b.Add(50, 99) // out of range: dropped
+	if b.Bins() != 5 {
+		t.Fatal("bin count wrong")
+	}
+	if m, ok := b.MeanAt(0); !ok || m != 15 {
+		t.Fatalf("bin 0 mean %v ok=%v", m, ok)
+	}
+	if _, ok := b.MeanAt(1); ok {
+		t.Fatal("empty bin reported data")
+	}
+	if m, _ := b.MeanAt(4); m != 7 {
+		t.Fatal("bin 4 mean wrong")
+	}
+	if b.CountAt(0) != 2 || b.CountAt(4) != 1 {
+		t.Fatal("counts wrong")
+	}
+	if b.Center(0) != 1 || b.Center(4) != 9 {
+		t.Fatal("centers wrong")
+	}
+}
+
+func TestHistogramEmptyFraction(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	if h.Fraction(0) != 0 {
+		t.Fatal("empty fraction not 0")
+	}
+}
+
+func TestBinnedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad binning accepted")
+		}
+	}()
+	NewBinned(0, 0, 3)
+}

@@ -1,0 +1,69 @@
+package mimo
+
+import (
+	"fmt"
+)
+
+// This file implements the linear detectors the paper's conclusion
+// discusses as alternative classical modules: zero-forcing, which nulls
+// the channel by (pseudo-)inversion, and MMSE, which regularizes the
+// inversion by the noise variance. Both cost one matrix inversion — more
+// than greedy search, less than tree search — and both slice the filtered
+// output to the nearest constellation point per user.
+
+// ZeroForcing is the ZF linear detector: x̂ = slice((HᴴH)⁻¹Hᴴ·y).
+type ZeroForcing struct{}
+
+// Name implements Detector.
+func (ZeroForcing) Name() string { return "zf" }
+
+// Detect implements Detector.
+func (ZeroForcing) Detect(p *Problem) ([]complex128, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	hh := p.H.ConjTranspose()
+	gram := hh.Mul(p.H)
+	inv, err := gram.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("mimo: zero-forcing: %w", err)
+	}
+	xf := inv.Mul(hh).MulVec(p.Y)
+	return sliceAll(p, xf), nil
+}
+
+// MMSE is the linear minimum mean-square-error detector:
+// x̂ = slice((HᴴH + N0·I)⁻¹Hᴴ·y), with N0 the noise variance (per unit
+// symbol energy). With N0 = 0 it coincides with zero-forcing.
+type MMSE struct {
+	NoiseVariance float64
+}
+
+// Name implements Detector.
+func (MMSE) Name() string { return "mmse" }
+
+// Detect implements Detector.
+func (d MMSE) Detect(p *Problem) ([]complex128, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if d.NoiseVariance < 0 {
+		return nil, fmt.Errorf("mimo: mmse: negative noise variance")
+	}
+	hh := p.H.ConjTranspose()
+	gram := hh.Mul(p.H).AddScaledIdentity(complex(d.NoiseVariance, 0))
+	inv, err := gram.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("mimo: mmse: %w", err)
+	}
+	xf := inv.Mul(hh).MulVec(p.Y)
+	return sliceAll(p, xf), nil
+}
+
+func sliceAll(p *Problem, xf []complex128) []complex128 {
+	out := make([]complex128, len(xf))
+	for i, v := range xf {
+		out[i] = p.Scheme.Slice(v)
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package mimo
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxMLCandidates bounds exhaustive ML search; beyond ~2²⁴ lattice points
+// the sphere decoder is the exact-ML tool.
+const MaxMLCandidates = 1 << 24
+
+// ML is the exhaustive maximum-likelihood detector: it enumerates the full
+// constellation lattice and returns argmin ‖y − H·x‖². Exponential in the
+// number of users — usable only on small instances, where it serves as the
+// ground-truth oracle for every other detector.
+type ML struct{}
+
+// Name implements Detector.
+func (ML) Name() string { return "ml" }
+
+// Detect implements Detector.
+func (ML) Detect(p *Problem) ([]complex128, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	alpha := p.Scheme.Alphabet()
+	nt := p.Nt()
+	total := 1.0
+	for i := 0; i < nt; i++ {
+		total *= float64(len(alpha))
+		if total > MaxMLCandidates {
+			return nil, fmt.Errorf("mimo: ML search space %v exceeds limit %d", total, MaxMLCandidates)
+		}
+	}
+	idx := make([]int, nt)
+	x := make([]complex128, nt)
+	best := make([]complex128, nt)
+	bestCost := math.Inf(1)
+	for {
+		for i, k := range idx {
+			x[i] = alpha[k]
+		}
+		if c := p.Objective(x); c < bestCost {
+			bestCost = c
+			copy(best, x)
+		}
+		// Odometer increment.
+		i := 0
+		for ; i < nt; i++ {
+			idx[i]++
+			if idx[i] < len(alpha) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == nt {
+			break
+		}
+	}
+	return best, nil
+}

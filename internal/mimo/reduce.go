@@ -1,0 +1,175 @@
+package mimo
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+	"repro/internal/modulation"
+	"repro/internal/qubo"
+)
+
+// This file implements the ML-to-Ising reduction — the paper's reference
+// [29] (QuAMax) mapping between QUBO variables and wireless symbols, which
+// §4.2 applies unchanged.
+//
+// Derivation. After the real-valued decomposition ỹ = H̃·x̃ (linalg.
+// RealDecompose), each of the 2·nt real dimensions carries a PAM amplitude
+// expressible as a weighted sum of spins (modulation.SpinWeights):
+//
+//	x̃_d = norm · Σ_k w_k·s_{σ(d)+k} ,  s ∈ {−1,+1}
+//
+// so x̃ = A·s for a sparse weight matrix A. Substituting into the ML
+// objective,
+//
+//	‖ỹ − H̃·A·s‖² = sᵀ·(AᵀGA)·s − 2·(AᵀH̃ᵀỹ)ᵀ·s + ‖ỹ‖²,  G = H̃ᵀH̃,
+//
+// which, since s_i² = 1 moves the diagonal of AᵀGA into the constant,
+// is the Ising model
+//
+//	h_i = −2·c_i,  J_ij = 2·M_ij (i<j),  offset = tr(M) + ‖ỹ‖²
+//
+// with M = AᵀGA and c = AᵀH̃ᵀỹ. The ground-state energy of this Ising
+// model equals the minimum of ‖y − H·x‖² over the constellation — zero in
+// the paper's noiseless workload.
+
+// Reduction holds the Ising form of a detection problem together with the
+// spin layout needed to decode samples back into symbols.
+type Reduction struct {
+	Ising   *qubo.Ising
+	problem *Problem
+	scheme  modulation.Scheme
+	nt      int
+	// dimBits[d] is the spin count of real dimension d (d < nt: I of user
+	// d; d >= nt: Q of user d−nt); dimOffset[d] is its first spin index.
+	dimBits   []int
+	dimOffset []int
+}
+
+// Reduce converts a detection problem into its exactly equivalent Ising
+// model.
+func Reduce(p *Problem) (*Reduction, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	nt := p.Nt()
+	hr, yr := linalg.RealDecompose(p.H, p.Y)
+	norm := p.Scheme.Norm()
+
+	biI := p.Scheme.BitsPerDimI()
+	biQ := p.Scheme.BitsPerDimQ()
+	dimBits := make([]int, 2*nt)
+	dimOffset := make([]int, 2*nt)
+	total := 0
+	for d := 0; d < 2*nt; d++ {
+		b := biI
+		if d >= nt {
+			b = biQ
+		}
+		dimBits[d] = b
+		dimOffset[d] = total
+		total += b
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("mimo: reduction produced no spins")
+	}
+
+	// A is (2·nt) × total with A[d][σ(d)+k] = norm·w_k.
+	a := linalg.NewMatrix(2*nt, total)
+	for d := 0; d < 2*nt; d++ {
+		w := modulation.SpinWeights(dimBits[d])
+		for k, wk := range w {
+			a.Set(d, dimOffset[d]+k, norm*wk)
+		}
+	}
+
+	g := hr.Transpose().Mul(hr)
+	m := a.Transpose().Mul(g).Mul(a)
+	// c = Aᵀ·H̃ᵀ·ỹ
+	hty := hr.Transpose().MulVec(yr)
+	c := a.Transpose().MulVec(hty)
+
+	is := qubo.NewIsing(total)
+	is.Offset = linalg.VecNormSq(yr)
+	for i := 0; i < total; i++ {
+		is.H[i] = -2 * c[i]
+		is.Offset += m.At(i, i)
+		for j := i + 1; j < total; j++ {
+			if v := m.At(i, j); v != 0 {
+				// M is symmetric; s_i·s_j collects M_ij + M_ji = 2·M_ij.
+				is.AddCoupling(i, j, 2*v)
+			}
+		}
+	}
+	return &Reduction{
+		Ising:     is,
+		problem:   p,
+		scheme:    p.Scheme,
+		nt:        nt,
+		dimBits:   dimBits,
+		dimOffset: dimOffset,
+	}, nil
+}
+
+// NumSpins returns the Ising problem size.
+func (r *Reduction) NumSpins() int { return r.Ising.N }
+
+// DecodeSpins converts a spin configuration into the nt detected symbols.
+func (r *Reduction) DecodeSpins(spins []int8) []complex128 {
+	if len(spins) != r.Ising.N {
+		panic("mimo: DecodeSpins length mismatch")
+	}
+	norm := r.scheme.Norm()
+	out := make([]complex128, r.nt)
+	for u := 0; u < r.nt; u++ {
+		iLevel := r.dimLevel(spins, u)
+		qLevel := 0.0
+		if r.dimBits[r.nt+u] > 0 {
+			qLevel = r.dimLevel(spins, r.nt+u)
+		}
+		out[u] = complex(iLevel*norm, qLevel*norm)
+	}
+	return out
+}
+
+func (r *Reduction) dimLevel(spins []int8, d int) float64 {
+	b := r.dimBits[d]
+	off := r.dimOffset[d]
+	return modulation.SpinsToLevel(spins[off : off+b])
+}
+
+// EncodeSymbols converts a symbol vector into the spin configuration that
+// represents it — e.g. the transmitted symbols into the ground state of a
+// noiseless instance, or a classical detector's output into a reverse-
+// annealing initial state.
+func (r *Reduction) EncodeSymbols(symbols []complex128) ([]int8, error) {
+	if len(symbols) != r.nt {
+		return nil, fmt.Errorf("mimo: EncodeSymbols got %d symbols for %d users", len(symbols), r.nt)
+	}
+	norm := r.scheme.Norm()
+	spins := make([]int8, r.Ising.N)
+	for u, x := range symbols {
+		iLevel := real(x) / norm
+		copySpins(spins, r.dimOffset[u], modulation.LevelToSpins(iLevel, r.dimBits[u]))
+		if b := r.dimBits[r.nt+u]; b > 0 {
+			qLevel := imag(x) / norm
+			copySpins(spins, r.dimOffset[r.nt+u], modulation.LevelToSpins(qLevel, b))
+		}
+	}
+	return spins, nil
+}
+
+func copySpins(dst []int8, off int, src []int8) {
+	copy(dst[off:off+len(src)], src)
+}
+
+// SpinsPerUser returns the number of spins encoding one user's symbol.
+func (r *Reduction) SpinsPerUser() int { return r.scheme.BitsPerSymbol() }
+
+// Scheme returns the modulation the reduction was built for.
+func (r *Reduction) Scheme() modulation.Scheme { return r.scheme }
+
+// Users returns the number of users nt.
+func (r *Reduction) Users() int { return r.nt }
+
+// Problem returns the detection problem the reduction was built from.
+func (r *Reduction) Problem() *Problem { return r.problem }

@@ -1,0 +1,162 @@
+package mimo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/modulation"
+	"repro/internal/qubo"
+)
+
+// This file implements a concrete source for §3.1's "soft information to
+// narrow the search space": per-bit log-likelihood ratios computed from a
+// linear detector's filtered output (the partial-marginalization family
+// of soft MIMO detectors the paper cites), turned into the pairwise
+// QUBO constraints of Figure 4 for the bit pairs the receiver is most
+// confident about.
+
+// BitLLR is the reliability of one bit of one user's symbol:
+// LLR = log P(bit = 1 | y) − log P(bit = 0 | y) under a per-user
+// Gaussian approximation of the filtered observation.
+type BitLLR struct {
+	User int
+	Bit  int // index within the user's Gray label
+	LLR  float64
+}
+
+// SpinIndex returns the bit's position in the reduction's spin layout.
+// The reduction orders spins per real dimension (all users' I bits, then
+// all users' Q bits), while Gray labels order I bits before Q bits per
+// user; this helper bridges the two.
+func (l BitLLR) SpinIndex(red *Reduction) int {
+	biI := red.Scheme().BitsPerDimI()
+	if l.Bit < biI {
+		return red.dimOffset[l.User] + l.Bit
+	}
+	return red.dimOffset[red.nt+l.User] + (l.Bit - biI)
+}
+
+// SoftOutput computes max-log per-bit LLRs from a filtered symbol
+// estimate: for each bit, the difference of the squared distances from
+// the estimate to the nearest constellation point with the bit 0 and
+// with the bit 1, scaled by 1/noiseVar.
+//
+// Bits are labelled in the REDUCTION's binary (weighted-spin) labeling,
+// not the Gray transmit labeling: a prior on such a bit is exactly a
+// prior on one Ising spin, which is what the Figure 4 constraints need.
+// (Gray bits are XORs of adjacent binary bits, so a Gray-bit prior has
+// no single-spin expression.)
+//
+// xf is the UNsliced filtered output (e.g. the ZF/MMSE estimate before
+// hard slicing); noiseVar calibrates confidence (the effective
+// post-filter noise variance — using the channel N0 is the standard
+// first-order choice).
+func SoftOutput(s modulation.Scheme, xf []complex128, noiseVar float64) ([]BitLLR, error) {
+	if noiseVar <= 0 {
+		return nil, fmt.Errorf("mimo: soft output needs positive noise variance")
+	}
+	alpha := s.Alphabet()
+	bitsPer := s.BitsPerSymbol()
+	labels := make([][]int8, len(alpha))
+	for i, pt := range alpha {
+		labels[i] = spinLabel(s, pt)
+	}
+	var out []BitLLR
+	for u, est := range xf {
+		for b := 0; b < bitsPer; b++ {
+			d0, d1 := math.Inf(1), math.Inf(1)
+			for i, pt := range alpha {
+				d := sqAbs(est - pt)
+				if labels[i][b] == 0 {
+					if d < d0 {
+						d0 = d
+					}
+				} else if d < d1 {
+					d1 = d
+				}
+			}
+			// Max-log LLR: (d0 − d1)/N0; positive favours bit = 1.
+			out = append(out, BitLLR{User: u, Bit: b, LLR: (d0 - d1) / noiseVar})
+		}
+	}
+	return out, nil
+}
+
+func sqAbs(v complex128) float64 { return real(v)*real(v) + imag(v)*imag(v) }
+
+// spinLabel returns a constellation point's bits in the reduction's
+// binary labeling: the I dimension's weighted-spin bits, then the Q
+// dimension's, with q = (s+1)/2.
+func spinLabel(s modulation.Scheme, pt complex128) []int8 {
+	norm := s.Norm()
+	bits := spinsToBits(modulation.LevelToSpins(real(pt)/norm, s.BitsPerDimI()))
+	if bq := s.BitsPerDimQ(); bq > 0 {
+		bits = append(bits, spinsToBits(modulation.LevelToSpins(imag(pt)/norm, bq))...)
+	}
+	return bits
+}
+
+func spinsToBits(spins []int8) []int8 {
+	out := make([]int8, len(spins))
+	for i, sp := range spins {
+		if sp > 0 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// ConfidentConstraints converts the most reliable DISJOINT bit pairs into
+// Figure 4 soft constraints on the reduced QUBO: bits are ranked by
+// |LLR|, paired greedily within each user's symbol (the paper's example
+// constrains q1q2 and q3q4 of one symbol), and each pair whose weaker
+// bit still clears minAbsLLR yields one constraint with the given
+// weight. The returned constraints reference SPIN indices of red's
+// layout, ready for qubo.ApplyConstraints on red.Ising.ToQUBO().
+func ConfidentConstraints(red *Reduction, llrs []BitLLR, minAbsLLR, weight float64, maxPairs int) []qubo.SoftConstraint {
+	if maxPairs <= 0 {
+		maxPairs = 4
+	}
+	// Group by user, sort each group by reliability.
+	byUser := map[int][]BitLLR{}
+	for _, l := range llrs {
+		byUser[l.User] = append(byUser[l.User], l)
+	}
+	users := make([]int, 0, len(byUser))
+	for u := range byUser {
+		users = append(users, u)
+	}
+	sort.Ints(users)
+	var cons []qubo.SoftConstraint
+	for _, u := range users {
+		group := byUser[u]
+		sort.Slice(group, func(a, b int) bool {
+			return math.Abs(group[a].LLR) > math.Abs(group[b].LLR)
+		})
+		for k := 0; k+1 < len(group) && len(cons) < maxPairs; k += 2 {
+			a, b := group[k], group[k+1]
+			if math.Abs(b.LLR) < minAbsLLR {
+				break // weaker pairs in this group only get worse
+			}
+			cons = append(cons, qubo.SoftConstraint{
+				I:       a.SpinIndex(red),
+				J:       b.SpinIndex(red),
+				TargetI: bitFromLLR(a.LLR),
+				TargetJ: bitFromLLR(b.LLR),
+				Weight:  weight,
+			})
+		}
+		if len(cons) >= maxPairs {
+			break
+		}
+	}
+	return cons
+}
+
+func bitFromLLR(llr float64) int8 {
+	if llr > 0 {
+		return 1
+	}
+	return 0
+}

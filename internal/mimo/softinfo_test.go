@@ -1,0 +1,195 @@
+package mimo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/modulation"
+	"repro/internal/qubo"
+	"repro/internal/rng"
+)
+
+func TestSoftOutputNeedsNoise(t *testing.T) {
+	if _, err := SoftOutput(modulation.QPSK, []complex128{0}, 0); err == nil {
+		t.Fatal("zero noise variance accepted")
+	}
+}
+
+// TestSoftOutputSignsMatchTruth: with the filtered output sitting exactly
+// on a constellation point, every LLR's sign must agree with that point's
+// binary label, and magnitudes must be large.
+func TestSoftOutputSignsMatchTruth(t *testing.T) {
+	for _, s := range modulation.Schemes {
+		for _, pt := range s.Alphabet() {
+			llrs, err := SoftOutput(s, []complex128{pt}, 0.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(llrs) != s.BitsPerSymbol() {
+				t.Fatalf("%v: %d LLRs", s, len(llrs))
+			}
+			want := spinLabel(s, pt)
+			for _, l := range llrs {
+				got := bitFromLLR(l.LLR)
+				if got != want[l.Bit] {
+					t.Fatalf("%v %v: bit %d LLR %v disagrees with label %d", s, pt, l.Bit, l.LLR, want[l.Bit])
+				}
+				// Minimum magnitude = dmin²/N0 (64-QAM: (2/√42)²/0.1 ≈ 0.95).
+				minMag := s.MinDistance() * s.MinDistance() / 0.1 * 0.99
+				if math.Abs(l.LLR) < minMag {
+					t.Fatalf("%v: on-point LLR magnitude %v below %v", s, l.LLR, minMag)
+				}
+			}
+		}
+	}
+}
+
+// TestSoftOutputUncertainMidpoint: halfway between two points differing
+// in one bit, that bit's LLR is ≈ 0 while the shared bits stay strong.
+func TestSoftOutputUncertainMidpoint(t *testing.T) {
+	s := modulation.QAM16
+	norm := s.Norm()
+	// Midpoint between I-levels −3 and −1 (binary labels 00 and 01 for
+	// the I dimension): the second I bit is ambiguous.
+	mid := complex(-2*norm, 3*norm)
+	llrs, err := SoftOutput(s, []complex128{mid}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range llrs {
+		switch l.Bit {
+		case 1: // ambiguous I bit
+			if math.Abs(l.LLR) > 1e-9 {
+				t.Fatalf("ambiguous bit has LLR %v", l.LLR)
+			}
+		case 0: // I sign bit: clearly negative side → 0
+			if bitFromLLR(l.LLR) != 0 || math.Abs(l.LLR) < 1 {
+				t.Fatalf("I sign bit LLR %v", l.LLR)
+			}
+		}
+	}
+}
+
+// TestSoftOutputScalesWithNoise: halving the noise variance doubles
+// every LLR magnitude (max-log is linear in 1/N0).
+func TestSoftOutputScalesWithNoise(t *testing.T) {
+	s := modulation.QAM16
+	xf := []complex128{complex(0.2, -0.5)}
+	a, _ := SoftOutput(s, xf, 0.2)
+	b, _ := SoftOutput(s, xf, 0.1)
+	for i := range a {
+		if math.Abs(b[i].LLR-2*a[i].LLR) > 1e-9 {
+			t.Fatalf("LLR not ∝ 1/N0: %v vs %v", a[i].LLR, b[i].LLR)
+		}
+	}
+}
+
+// TestSpinIndexLayout: BitLLR.SpinIndex agrees with the reduction's
+// encode layout — flipping the spin at SpinIndex changes exactly the
+// symbol bit the LLR refers to.
+func TestSpinIndexLayout(t *testing.T) {
+	r := rng.New(3)
+	for _, s := range modulation.Schemes {
+		p, _ := synth(r, s, 3, 0)
+		red, err := Reduce(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		syms, _ := RandomSymbols(r, s, 3)
+		spins, _ := red.EncodeSymbols(syms)
+		for u := 0; u < 3; u++ {
+			for b := 0; b < s.BitsPerSymbol(); b++ {
+				l := BitLLR{User: u, Bit: b}
+				idx := l.SpinIndex(red)
+				// The spin's bit value must equal the symbol's binary
+				// label bit.
+				want := spinLabel(s, syms[u])[b]
+				got := int8(0)
+				if spins[idx] > 0 {
+					got = 1
+				}
+				if got != want {
+					t.Fatalf("%v user %d bit %d: spin %d has bit %d, label %d", s, u, b, idx, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestConfidentConstraintsEndToEnd: on a noisy instance, constraints
+// derived from MMSE soft output with CORRECT high-confidence bits must
+// not displace the reduced problem's optimum.
+func TestConfidentConstraintsEndToEnd(t *testing.T) {
+	r := rng.New(7)
+	s := modulation.QAM16
+	nt := 3
+	n0 := channel.NoiseVarianceForSNR(18, nt)
+	h := channel.Draw(channel.UnitGainRandomPhase, r, nt, nt)
+	x, _ := RandomSymbols(r, s, nt)
+	y := channel.Transmit(r, h, x, n0)
+	p := &Problem{H: h, Y: y, Scheme: s}
+	red, err := Reduce(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Soft output from the MMSE-filtered (unsliced) observation.
+	hh := p.H.ConjTranspose()
+	gram := hh.Mul(p.H).AddScaledIdentity(complex(n0, 0))
+	inv, err := gram.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xf := inv.Mul(hh).MulVec(p.Y)
+	llrs, err := SoftOutput(s, xf, n0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := ConfidentConstraints(red, llrs, 8.0, 1.0, 4)
+	if len(cons) == 0 {
+		t.Skip("no bit pair cleared the confidence threshold on this draw")
+	}
+	base := red.Ising.ToQUBO()
+	baseOpt, err := qubo.Exhaustive(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	constrained := qubo.ApplyConstraints(base, cons)
+	conOpt, err := qubo.Exhaustive(constrained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// High-confidence correct priors must keep the optimum's energy
+	// unchanged under the ORIGINAL objective.
+	if math.Abs(base.Energy(conOpt.Bits)-baseOpt.Energy) > 1e-6 {
+		t.Fatalf("constraints displaced the optimum: %v vs %v",
+			base.Energy(conOpt.Bits), baseOpt.Energy)
+	}
+}
+
+// TestConfidentConstraintsThreshold: a huge threshold yields no
+// constraints; pairs are disjoint and bounded by maxPairs.
+func TestConfidentConstraintsThreshold(t *testing.T) {
+	r := rng.New(9)
+	p, _ := synth(r, modulation.QAM16, 4, 0.4)
+	red, _ := Reduce(p)
+	xf := make([]complex128, 4)
+	for i := range xf {
+		xf[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	llrs, _ := SoftOutput(modulation.QAM16, xf, 0.4)
+	if cons := ConfidentConstraints(red, llrs, 1e12, 1, 8); len(cons) != 0 {
+		t.Fatalf("impossible threshold produced %d constraints", len(cons))
+	}
+	cons := ConfidentConstraints(red, llrs, 0, 1, 3)
+	if len(cons) > 3 {
+		t.Fatalf("maxPairs exceeded: %d", len(cons))
+	}
+	seen := map[int]bool{}
+	for _, c := range cons {
+		if seen[c.I] || seen[c.J] || c.I == c.J {
+			t.Fatal("constraint spins not disjoint")
+		}
+		seen[c.I], seen[c.J] = true, true
+	}
+}

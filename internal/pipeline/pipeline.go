@@ -1,0 +1,273 @@
+// Package pipeline implements Challenge 3 / Figure 2 of the paper: the
+// staged classical-quantum computational pipeline that processes
+// successive wireless channel uses. Data bits from channel use N are in
+// the quantum stage while channel use N+1 is in the classical stage,
+// exploiting the sequential arrival of traffic over a wireless link.
+//
+// Execution and timing are separated: stages run concurrently as
+// goroutines connected by buffered channels (the pipeline's buffers), and
+// each stage reports a modelled service time in simulated microseconds —
+// the classical module's compute estimate, or the QPU's
+// programming+anneal+readout budget. A deterministic schedule recurrence
+// then turns per-frame service times into start/finish times, latencies,
+// throughput, stage utilization, and ARQ-deadline misses, independent of
+// host scheduling jitter.
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Frame is one channel use travelling through the pipeline.
+type Frame struct {
+	// Seq is the channel-use index (0-based).
+	Seq int
+	// Arrival is the frame's arrival time in simulated μs.
+	Arrival float64
+	// Deadline is the ARQ turn-around budget in μs from arrival; 0 means
+	// no deadline.
+	Deadline float64
+	// Payload carries the stage data (detection problem, candidate state,
+	// detected symbols) — owned by the stages.
+	Payload any
+	// ServiceTimes[s] is stage s's modelled μs for this frame, recorded
+	// as the frame passes through.
+	ServiceTimes []float64
+	// Err aborts downstream processing but still flows to the collector
+	// so accounting stays complete.
+	Err error
+}
+
+// Stage is one processing unit (a CPU pool or a QPU).
+type Stage interface {
+	// Name identifies the stage in reports.
+	Name() string
+	// Process transforms the frame's payload and returns the modelled
+	// service time in μs.
+	Process(f *Frame) (serviceMicros float64, err error)
+}
+
+// Pipeline executes frames through stages in order.
+type Pipeline struct {
+	Stages []Stage
+	// BufferSize is the channel capacity between consecutive stages
+	// (default 1 — the tightest pipelining of Figure 2).
+	BufferSize int
+	// Replicas[s] models stage s as a pool of identical units (e.g. a
+	// CPU pool or several QPUs — Challenge 3's "assign those units to
+	// staged processing units"); missing/zero entries mean 1.
+	Replicas []int
+}
+
+// replicasAt returns stage s's server count (≥ 1).
+func (p *Pipeline) replicasAt(s int) int {
+	if s < len(p.Replicas) && p.Replicas[s] > 0 {
+		return p.Replicas[s]
+	}
+	return 1
+}
+
+// Run pushes every frame through all stages concurrently (one goroutine
+// per stage) and returns them in order with service times recorded.
+func (p *Pipeline) Run(frames []*Frame) ([]*Frame, error) {
+	if len(p.Stages) == 0 {
+		return nil, fmt.Errorf("pipeline: no stages")
+	}
+	buf := p.BufferSize
+	if buf <= 0 {
+		buf = 1
+	}
+	for _, f := range frames {
+		f.ServiceTimes = make([]float64, len(p.Stages))
+	}
+	in := make(chan *Frame, buf)
+	cur := in
+	var wg sync.WaitGroup
+	for si, st := range p.Stages {
+		out := make(chan *Frame, buf)
+		wg.Add(1)
+		go func(si int, st Stage, in <-chan *Frame, out chan<- *Frame) {
+			defer wg.Done()
+			defer close(out)
+			for f := range in {
+				if f.Err == nil {
+					micros, err := st.Process(f)
+					if err != nil {
+						f.Err = fmt.Errorf("pipeline: stage %s frame %d: %w", st.Name(), f.Seq, err)
+					} else {
+						f.ServiceTimes[si] = micros
+					}
+				}
+				out <- f
+			}
+		}(si, st, cur, out)
+		cur = out
+	}
+	done := make(chan []*Frame)
+	go func() {
+		var collected []*Frame
+		for f := range cur {
+			collected = append(collected, f)
+		}
+		done <- collected
+	}()
+	for _, f := range frames {
+		in <- f
+	}
+	close(in)
+	wg.Wait()
+	collected := <-done
+	// Stages preserve order (single goroutine per stage, FIFO channels).
+	for i, f := range collected {
+		if f.Seq != frames[i].Seq {
+			return nil, fmt.Errorf("pipeline: frame order violated at %d", i)
+		}
+	}
+	return collected, nil
+}
+
+// FrameTiming is one frame's modelled schedule.
+type FrameTiming struct {
+	Seq      int
+	Arrival  float64
+	Start    []float64 // per stage
+	Finish   []float64 // per stage
+	Latency  float64   // completion − arrival
+	Deadline float64
+	Missed   bool
+}
+
+// Report aggregates a pipeline run's modelled timing.
+type Report struct {
+	Frames []FrameTiming
+	// Makespan is the completion time of the last frame (μs).
+	Makespan float64
+	// ThroughputPerSecond is frames per simulated second in steady state.
+	ThroughputPerSecond float64
+	// MeanLatency and P95Latency are per-frame latencies (μs).
+	MeanLatency, P95Latency float64
+	// DeadlineMissRate is the fraction of frames finishing past their
+	// deadline.
+	DeadlineMissRate float64
+	// Utilization[s] is stage s's busy fraction of the makespan.
+	Utilization []float64
+	// StageNames labels the columns.
+	StageNames []string
+}
+
+// Schedule computes the modelled pipeline timing for processed frames:
+// stage s starts frame i when the frame has arrived, stage s has finished
+// frame i−1, stage s−1 has delivered frame i, and — with bounded buffers
+// of capacity B — the downstream stage has started frame i−B (back-
+// pressure).
+func (p *Pipeline) Schedule(frames []*Frame) (*Report, error) {
+	n := len(frames)
+	s := len(p.Stages)
+	if s == 0 {
+		return nil, fmt.Errorf("pipeline: no stages")
+	}
+	buf := p.BufferSize
+	if buf <= 0 {
+		buf = 1
+	}
+	start := make([][]float64, n)
+	finish := make([][]float64, n)
+	for i := range start {
+		start[i] = make([]float64, s)
+		finish[i] = make([]float64, s)
+	}
+	for i, f := range frames {
+		if f.Err != nil {
+			return nil, fmt.Errorf("pipeline: cannot schedule failed frame %d: %w", f.Seq, f.Err)
+		}
+		for st := 0; st < s; st++ {
+			t := f.Arrival
+			if st > 0 {
+				t = max2(t, finish[i][st-1])
+			}
+			// With R replicated units, frame i waits for the unit that
+			// processed frame i−R (FIFO dispatch).
+			if rep := p.replicasAt(st); i-rep >= 0 {
+				t = max2(t, finish[i-rep][st])
+			}
+			// Back-pressure: with buffer capacity buf between this stage
+			// and the next, frame i cannot enter stage st until frame
+			// i−buf−1 has vacated it into the buffer... conservatively,
+			// until the downstream stage has started frame i−buf.
+			if st+1 < s && i-buf >= 0 {
+				t = max2(t, start[i-buf][st+1])
+			}
+			start[i][st] = t
+			finish[i][st] = t + f.ServiceTimes[st]
+		}
+	}
+	rep := &Report{Utilization: make([]float64, s)}
+	for _, st := range p.Stages {
+		rep.StageNames = append(rep.StageNames, st.Name())
+	}
+	var latencies []float64
+	busy := make([]float64, s)
+	missed := 0
+	for i, f := range frames {
+		ft := FrameTiming{
+			Seq:      f.Seq,
+			Arrival:  f.Arrival,
+			Start:    start[i],
+			Finish:   finish[i],
+			Latency:  finish[i][s-1] - f.Arrival,
+			Deadline: f.Deadline,
+		}
+		if f.Deadline > 0 && ft.Latency > f.Deadline {
+			ft.Missed = true
+			missed++
+		}
+		rep.Frames = append(rep.Frames, ft)
+		latencies = append(latencies, ft.Latency)
+		for st := 0; st < s; st++ {
+			busy[st] += f.ServiceTimes[st]
+		}
+		if finish[i][s-1] > rep.Makespan {
+			rep.Makespan = finish[i][s-1]
+		}
+	}
+	if n > 0 {
+		rep.MeanLatency = mean(latencies)
+		rep.P95Latency = percentile95(latencies)
+		rep.DeadlineMissRate = float64(missed) / float64(n)
+		if rep.Makespan > 0 {
+			for st := 0; st < s; st++ {
+				rep.Utilization[st] = busy[st] / rep.Makespan / float64(p.replicasAt(st))
+			}
+			rep.ThroughputPerSecond = float64(n) / rep.Makespan * 1e6
+		}
+	}
+	return rep, nil
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func mean(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+func percentile95(xs []float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	// Insertion sort: frame counts are modest.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	idx := int(0.95 * float64(len(sorted)-1))
+	return sorted[idx]
+}

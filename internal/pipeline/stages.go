@@ -1,0 +1,193 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/annealer"
+	"repro/internal/core"
+	"repro/internal/instance"
+	"repro/internal/mimo"
+	"repro/internal/rng"
+)
+
+// DetectionPayload is the data a channel use carries through the
+// classical→quantum detection pipeline.
+type DetectionPayload struct {
+	Instance *instance.Instance
+	// InitialState is produced by the classical stage.
+	InitialState []int8
+	// Symbols and BestEnergy are produced by the quantum stage.
+	Symbols    []complex128
+	BestEnergy float64
+	// SymbolErrors compares against the transmitted truth.
+	SymbolErrors int
+}
+
+// ClassicalStage runs the hybrid design's classical module on each frame
+// and charges a compute-time model for it.
+type ClassicalStage struct {
+	Module core.ClassicalModule
+	// MicrosFor models the module's compute time from the spin count;
+	// nil charges the default N²·1ns quadratic model (GS's sort+pass is
+	// "nearly negligible" — §4.1 — so the default lands well under a μs
+	// for paper-scale problems).
+	MicrosFor func(numSpins int) float64
+	// Rng seeds stochastic modules; deterministic per frame sequence.
+	Rng *rng.Source
+}
+
+// Name implements Stage.
+func (s *ClassicalStage) Name() string {
+	m := s.Module
+	if m == nil {
+		m = core.GreedyModule{}
+	}
+	return "cpu:" + m.Name()
+}
+
+// Process implements Stage.
+func (s *ClassicalStage) Process(f *Frame) (float64, error) {
+	pl, ok := f.Payload.(*DetectionPayload)
+	if !ok {
+		return 0, fmt.Errorf("frame payload is %T, want *DetectionPayload", f.Payload)
+	}
+	m := s.Module
+	if m == nil {
+		m = core.GreedyModule{}
+	}
+	r := s.Rng
+	if r == nil {
+		r = rng.New(0)
+	}
+	init, err := m.Initialize(pl.Instance.Reduction, r.Split(uint64(f.Seq)))
+	if err != nil {
+		return 0, err
+	}
+	pl.InitialState = init
+	n := pl.Instance.Reduction.NumSpins()
+	if s.MicrosFor != nil {
+		return s.MicrosFor(n), nil
+	}
+	return float64(n*n) * 1e-3, nil
+}
+
+// QuantumStage reverse-anneals each frame from its classical candidate
+// and charges the device service time.
+type QuantumStage struct {
+	// Sp, Tp, NumReads configure the RA program (defaults 0.45, 1, 50).
+	Sp, Tp   float64
+	NumReads int
+	Config   core.AnnealConfig
+	// ProgrammingMicros and ReadoutMicros model per-call and per-read
+	// device overheads added to the pure anneal time. The paper's Figure 2
+	// pipelining is exactly about hiding these behind the classical
+	// stage; defaults are 0 (fully amortized) — set them to
+	// 2000Q-realistic values (10⁴, 123) to see today's integration cost.
+	ProgrammingMicros float64
+	ReadoutMicros     float64
+	Rng               *rng.Source
+}
+
+// Name implements Stage.
+func (s *QuantumStage) Name() string { return "qpu:ra" }
+
+// Process implements Stage.
+func (s *QuantumStage) Process(f *Frame) (float64, error) {
+	pl, ok := f.Payload.(*DetectionPayload)
+	if !ok {
+		return 0, fmt.Errorf("frame payload is %T, want *DetectionPayload", f.Payload)
+	}
+	if pl.InitialState == nil {
+		return 0, fmt.Errorf("frame %d reached the quantum stage without a classical candidate", f.Seq)
+	}
+	sp, tp, reads := s.Sp, s.Tp, s.NumReads
+	if sp == 0 {
+		sp = 0.45
+	}
+	if tp == 0 {
+		tp = 1
+	}
+	if reads <= 0 {
+		reads = 50
+	}
+	r := s.Rng
+	if r == nil {
+		r = rng.New(1)
+	}
+	h := &core.Hybrid{
+		Classical: core.FixedModule{State: pl.InitialState},
+		Sp:        sp, Tp: tp, NumReads: reads,
+		Config: s.Config,
+	}
+	out, err := h.Solve(pl.Instance.Reduction, r.Split(uint64(f.Seq)))
+	if err != nil {
+		return 0, err
+	}
+	pl.Symbols = out.Symbols
+	pl.BestEnergy = out.Best.Energy
+	pl.SymbolErrors = mimo.SymbolErrors(out.Symbols, pl.Instance.Transmitted)
+	service := s.ProgrammingMicros + float64(reads)*(out.ScheduleDuration+s.ReadoutMicros)
+	return service, nil
+}
+
+// GenerateFrames turns an instance corpus into a periodic frame arrival
+// process: frame i arrives at i·interval μs with the given ARQ deadline.
+func GenerateFrames(insts []*instance.Instance, intervalMicros, deadlineMicros float64) []*Frame {
+	frames := make([]*Frame, len(insts))
+	for i, inst := range insts {
+		frames[i] = &Frame{
+			Seq:      i,
+			Arrival:  float64(i) * intervalMicros,
+			Deadline: deadlineMicros,
+			Payload:  &DetectionPayload{Instance: inst},
+		}
+	}
+	return frames
+}
+
+// QuantumServiceTime exposes the stage's service model for capacity
+// planning: the μs one frame occupies the QPU.
+func (s *QuantumStage) QuantumServiceTime() (float64, error) {
+	sp, tp, reads := s.Sp, s.Tp, s.NumReads
+	if sp == 0 {
+		sp = 0.45
+	}
+	if tp == 0 {
+		tp = 1
+	}
+	if reads <= 0 {
+		reads = 50
+	}
+	sc, err := annealer.Reverse(sp, tp)
+	if err != nil {
+		return 0, err
+	}
+	return s.ProgrammingMicros + float64(reads)*(sc.Duration()+s.ReadoutMicros), nil
+}
+
+// GenerateFramesPoisson turns an instance corpus into a Poisson arrival
+// process with the given mean inter-arrival time — the bursty-traffic
+// counterpart of GenerateFrames for stress-testing deadline behaviour
+// under Challenge 3.
+func GenerateFramesPoisson(insts []*instance.Instance, meanIntervalMicros, deadlineMicros float64, r *rng.Source) []*Frame {
+	frames := make([]*Frame, len(insts))
+	t := 0.0
+	for i, inst := range insts {
+		if i > 0 {
+			// Exponential inter-arrival via inverse CDF.
+			u := r.Float64()
+			for u == 0 {
+				u = r.Float64()
+			}
+			t += -meanIntervalMicros * math.Log(u)
+		}
+		frames[i] = &Frame{
+			Seq:      i,
+			Arrival:  t,
+			Deadline: deadlineMicros,
+			Payload:  &DetectionPayload{Instance: inst},
+		}
+	}
+	return frames
+}

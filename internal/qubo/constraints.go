@@ -1,0 +1,91 @@
+package qubo
+
+// This file implements the "Soft information to narrow the search space"
+// scheme of §3.1 / Figure 4: pre-knowledge that a group of bits is very
+// likely to take certain values is encoded as penalty terms added to the
+// QUBO, steering the (quantum) search away from unlikely regions without —
+// ideally — moving the global optimum.
+//
+// The paper's example adds C₁·(q₁−1)·(q₂−1) and C₂·(q₃−1)·(q₄−1) to bias a
+// 16-QAM symbol's bits toward 1111. A factor C·(q_i−a)·(q_j−b) with target
+// values a, b ∈ {0,1} and C < 0 lowers the energy exactly when both bits
+// take their target values, expanding to quadratic, linear, and constant
+// terms that this file folds into the form.
+
+// SoftConstraint is a pairwise prior: bits (I, J) are believed to take
+// (TargetI, TargetJ); Weight C > 0 scales the penalty paid when both bits
+// simultaneously take the complements of their targets (the "unlikely"
+// red-coded region of Figure 4). Assignments agreeing with either target
+// bit pay nothing, so a correct prior never moves the global optimum.
+type SoftConstraint struct {
+	I, J             int
+	TargetI, TargetJ int8
+	Weight           float64
+}
+
+// ApplyConstraints returns a copy of q with every constraint's expansion
+// folded in. For a constraint with targets (a, b) and weight C the added
+// term is C·(q_i − (1−a))·(q_j − (1−b)): the paper's (q−1)(q'−1) form when
+// the targets are (1, 1), and the symmetric forms for the other target
+// pairs. The term vanishes whenever either bit equals the complement of
+// its target and is ±C only when both bits are "wrong together", so with
+// the paper's C > 0 convention the doubly-unlikely corner of the
+// constellation is penalized while the believed assignment's energy is
+// untouched.
+func ApplyConstraints(q *QUBO, constraints []SoftConstraint) *QUBO {
+	out := q.Clone()
+	for _, c := range constraints {
+		if c.I == c.J {
+			panic("qubo: soft constraint on identical indices")
+		}
+		// Build C·(x_i)·(x_j) where x = q when target is 1 and x = (1−q)
+		// when target is 0; the product is 1 exactly at the target pair.
+		// C·x_i·x_j expands over the four target combinations:
+		// The penalty is C·[q_i = 1−a]·[q_j = 1−b] where [q = 1] = q and
+		// [q = 0] = 1−q: exactly C at the doubly-wrong corner, 0 elsewhere.
+		switch {
+		case c.TargetI == 1 && c.TargetJ == 1:
+			// C·(1−q_i)(1−q_j) = C·(q_i−1)(q_j−1), the paper's literal form:
+			// C·q_iq_j − C·q_i − C·q_j + C.
+			out.AddCoeff(c.I, c.J, c.Weight)
+			out.AddCoeff(c.I, c.I, -c.Weight)
+			out.AddCoeff(c.J, c.J, -c.Weight)
+			out.Offset += c.Weight
+		case c.TargetI == 1 && c.TargetJ == 0:
+			// C·(1−q_i)·q_j = C·q_j − C·q_iq_j
+			out.AddCoeff(c.J, c.J, c.Weight)
+			out.AddCoeff(c.I, c.J, -c.Weight)
+		case c.TargetI == 0 && c.TargetJ == 1:
+			// C·q_i·(1−q_j) = C·q_i − C·q_iq_j
+			out.AddCoeff(c.I, c.I, c.Weight)
+			out.AddCoeff(c.I, c.J, -c.Weight)
+		default: // (0, 0)
+			// C·q_i·q_j
+			out.AddCoeff(c.I, c.J, c.Weight)
+		}
+	}
+	return out
+}
+
+// ConstraintViolation reports, for diagnostics, how much the constraint
+// terms contribute to the energy of an assignment (0 when every constraint
+// is satisfied at its target with the paper's C>0 convention).
+func ConstraintViolation(constraints []SoftConstraint, bits []int8) float64 {
+	var total float64
+	for _, c := range constraints {
+		qi, qj := float64(bits[c.I]), float64(bits[c.J])
+		var term float64
+		switch {
+		case c.TargetI == 1 && c.TargetJ == 1:
+			term = c.Weight * (1 - qi) * (1 - qj)
+		case c.TargetI == 1 && c.TargetJ == 0:
+			term = c.Weight * (1 - qi) * qj
+		case c.TargetI == 0 && c.TargetJ == 1:
+			term = c.Weight * qi * (1 - qj)
+		default:
+			term = c.Weight * qi * qj
+		}
+		total += term
+	}
+	return total
+}

@@ -1,0 +1,124 @@
+package qubo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestConstraintPaperExample reproduces Figure 4's construction: with
+// q1q2q3q4 believed close to 1111, adding C1·(q1−1)(q2−1) and
+// C2·(q3−1)(q4−1) must leave the energy of any assignment with q1q2 = 11
+// and q3q4 = 11 unchanged and penalize the doubly-unlikely corners.
+func TestConstraintPaperExample(t *testing.T) {
+	r := rng.New(40)
+	q := randomQUBO(r, 4, 1)
+	cons := []SoftConstraint{
+		{I: 0, J: 1, TargetI: 1, TargetJ: 1, Weight: 5},
+		{I: 2, J: 3, TargetI: 1, TargetJ: 1, Weight: 7},
+	}
+	qc := ApplyConstraints(q, cons)
+
+	target := []int8{1, 1, 1, 1}
+	if math.Abs(qc.Energy(target)-q.Energy(target)) > 1e-9 {
+		t.Fatal("constraint changed the believed assignment's energy")
+	}
+	// The doubly-wrong corner on the first pair pays +C1.
+	wrong := []int8{0, 0, 1, 1}
+	if math.Abs((qc.Energy(wrong)-q.Energy(wrong))-5) > 1e-9 {
+		t.Fatalf("penalty = %v, want 5", qc.Energy(wrong)-q.Energy(wrong))
+	}
+	// Both pairs wrong pays C1 + C2.
+	allWrong := []int8{0, 0, 0, 0}
+	if math.Abs((qc.Energy(allWrong)-q.Energy(allWrong))-12) > 1e-9 {
+		t.Fatal("combined penalty wrong")
+	}
+	// A half-wrong pair pays nothing ((q−1)(q'−1) vanishes when either is 1).
+	half := []int8{1, 0, 1, 1}
+	if math.Abs(qc.Energy(half)-q.Energy(half)) > 1e-9 {
+		t.Fatal("half-wrong pair penalized")
+	}
+}
+
+// TestConstraintEnergyIdentity: for every assignment, the constrained
+// QUBO's energy equals original + ConstraintViolation.
+func TestConstraintEnergyIdentity(t *testing.T) {
+	r := rng.New(41)
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + r.Intn(6)
+		q := randomQUBO(r, n, 2)
+		cons := []SoftConstraint{
+			{I: 0, J: 1, TargetI: 1, TargetJ: 1, Weight: 2*r.Float64() - 1},
+			{I: 1, J: 2, TargetI: 1, TargetJ: 0, Weight: 2*r.Float64() - 1},
+			{I: 2, J: 3, TargetI: 0, TargetJ: 1, Weight: 2*r.Float64() - 1},
+			{I: 0, J: 3, TargetI: 0, TargetJ: 0, Weight: 2*r.Float64() - 1},
+		}
+		qc := ApplyConstraints(q, cons)
+		for k := 0; k < 30; k++ {
+			bits := randomBits(r, n)
+			want := q.Energy(bits) + ConstraintViolation(cons, bits)
+			if math.Abs(qc.Energy(bits)-want) > 1e-9 {
+				t.Fatalf("identity violated: %v vs %v", qc.Energy(bits), want)
+			}
+		}
+	}
+}
+
+// TestConstraintPreservesOptimumWhenConsistent: if the prior is correct
+// (the global optimum satisfies all targets) a positive weight never moves
+// the optimum.
+func TestConstraintPreservesOptimumWhenConsistent(t *testing.T) {
+	r := rng.New(42)
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + r.Intn(5)
+		q := randomQUBO(r, n, 2)
+		orig, err := Exhaustive(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Build constraints targeting the TRUE optimum's bits.
+		cons := []SoftConstraint{
+			{I: 0, J: 1, TargetI: orig.Bits[0], TargetJ: orig.Bits[1], Weight: 3},
+			{I: 2, J: 3, TargetI: orig.Bits[2], TargetJ: orig.Bits[3], Weight: 3},
+		}
+		qc := ApplyConstraints(q, cons)
+		got, err := Exhaustive(qc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Energy-orig.Energy) > 1e-9 {
+			t.Fatalf("consistent constraints moved optimum: %v vs %v", got.Energy, orig.Energy)
+		}
+	}
+}
+
+// TestConstraintCanHarmWhenWrong documents the pitfall §3.1 reports: a
+// constraint targeting the WRONG values can displace the global optimum
+// when the weight is large.
+func TestConstraintCanHarmWhenWrong(t *testing.T) {
+	q := New(2)
+	q.SetCoeff(0, 0, -1) // optimum is (1, 1)
+	q.SetCoeff(1, 1, -1)
+	orig, _ := Exhaustive(q)
+	if orig.Bits[0] != 1 || orig.Bits[1] != 1 {
+		t.Fatal("setup wrong")
+	}
+	// Wrong prior: believe (0, 0) strongly. The (q_i)(q_j) penalty makes
+	// assignments with both bits 1 expensive.
+	cons := []SoftConstraint{{I: 0, J: 1, TargetI: 0, TargetJ: 0, Weight: 10}}
+	qc := ApplyConstraints(q, cons)
+	got, _ := Exhaustive(qc)
+	if got.Bits[0] == 1 && got.Bits[1] == 1 {
+		t.Fatal("expected the wrong prior to displace the optimum")
+	}
+}
+
+func TestConstraintSameIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("same-index constraint did not panic")
+		}
+	}()
+	ApplyConstraints(New(2), []SoftConstraint{{I: 1, J: 1, Weight: 1}})
+}

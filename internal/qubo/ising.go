@@ -1,0 +1,253 @@
+package qubo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Coupling is one off-diagonal Ising term J·s_i·s_j stored in an adjacency
+// list; each undirected coupling appears in both endpoints' lists.
+type Coupling struct {
+	To int
+	J  float64
+}
+
+// Ising is E(s) = Σ h_i·s_i + Σ_{i<j} J_ij·s_i·s_j + offset over spins
+// s ∈ {−1,+1}^N, stored with adjacency lists so that both small dense
+// logical problems and large sparse Chimera-embedded problems are cheap to
+// evaluate.
+type Ising struct {
+	N      int
+	H      []float64
+	Adj    [][]Coupling
+	Offset float64
+}
+
+// NewIsing returns an all-zero Ising model over n spins.
+func NewIsing(n int) *Ising {
+	if n < 0 {
+		panic("qubo: negative size")
+	}
+	return &Ising{N: n, H: make([]float64, n), Adj: make([][]Coupling, n)}
+}
+
+// Clone returns a deep copy.
+func (is *Ising) Clone() *Ising {
+	out := NewIsing(is.N)
+	copy(out.H, is.H)
+	out.Offset = is.Offset
+	for i, adj := range is.Adj {
+		out.Adj[i] = append([]Coupling(nil), adj...)
+	}
+	return out
+}
+
+// Coupling returns J_ij (0 when absent). i and j order does not matter.
+func (is *Ising) Coupling(i, j int) float64 {
+	for _, c := range is.Adj[i] {
+		if c.To == j {
+			return c.J
+		}
+	}
+	return 0
+}
+
+// SetCoupling assigns J_ij, inserting or updating the adjacency entries.
+// Setting J to exactly 0 removes the edge.
+func (is *Ising) SetCoupling(i, j int, v float64) {
+	if i == j {
+		panic("qubo: self-coupling; fold diagonal terms into H or Offset")
+	}
+	is.setHalf(i, j, v)
+	is.setHalf(j, i, v)
+}
+
+func (is *Ising) setHalf(i, j int, v float64) {
+	adj := is.Adj[i]
+	for k := range adj {
+		if adj[k].To == j {
+			if v == 0 {
+				adj[k] = adj[len(adj)-1]
+				is.Adj[i] = adj[:len(adj)-1]
+			} else {
+				adj[k].J = v
+			}
+			return
+		}
+	}
+	if v != 0 {
+		is.Adj[i] = append(adj, Coupling{To: j, J: v})
+	}
+}
+
+// AddCoupling adds v to J_ij.
+func (is *Ising) AddCoupling(i, j int, v float64) {
+	is.SetCoupling(i, j, is.Coupling(i, j)+v)
+}
+
+// Edges returns every undirected coupling once, ordered by (i, j), i < j.
+func (is *Ising) Edges() []struct {
+	I, J int
+	V    float64
+} {
+	var out []struct {
+		I, J int
+		V    float64
+	}
+	for i, adj := range is.Adj {
+		for _, c := range adj {
+			if c.To > i {
+				out = append(out, struct {
+					I, J int
+					V    float64
+				}{i, c.To, c.J})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].I != out[b].I {
+			return out[a].I < out[b].I
+		}
+		return out[a].J < out[b].J
+	})
+	return out
+}
+
+// NumEdges returns the number of nonzero couplings.
+func (is *Ising) NumEdges() int {
+	total := 0
+	for _, adj := range is.Adj {
+		total += len(adj)
+	}
+	return total / 2
+}
+
+// Energy evaluates E(s) for spins in {−1,+1}.
+func (is *Ising) Energy(spins []int8) float64 {
+	if len(spins) != is.N {
+		panic("qubo: Energy with wrong-length spin assignment")
+	}
+	e := is.Offset
+	for i := 0; i < is.N; i++ {
+		si := float64(spins[i])
+		e += is.H[i] * si
+		for _, c := range is.Adj[i] {
+			if c.To > i {
+				e += c.J * si * float64(spins[c.To])
+			}
+		}
+	}
+	return e
+}
+
+// LocalField returns f_i = h_i + Σ_j J_ij·s_j, the effective field on spin
+// i. The energy change from flipping spin i is −2·s_i·f_i.
+func (is *Ising) LocalField(spins []int8, i int) float64 {
+	f := is.H[i]
+	for _, c := range is.Adj[i] {
+		f += c.J * float64(spins[c.To])
+	}
+	return f
+}
+
+// FlipDelta returns E(flip_i(s)) − E(s).
+func (is *Ising) FlipDelta(spins []int8, i int) float64 {
+	return -2 * float64(spins[i]) * is.LocalField(spins, i)
+}
+
+// MaxAbsCoeff returns max(|h|, |J|) over all terms.
+func (is *Ising) MaxAbsCoeff() float64 {
+	var best float64
+	for _, h := range is.H {
+		if a := math.Abs(h); a > best {
+			best = a
+		}
+	}
+	for _, adj := range is.Adj {
+		for _, c := range adj {
+			if a := math.Abs(c.J); a > best {
+				best = a
+			}
+		}
+	}
+	return best
+}
+
+// Normalized returns a copy scaled so max(|h|,|J|) = 1 (device coefficient
+// range), along with the scale factor applied. The offset is scaled too, so
+// relative energies are preserved; a zero problem is returned unchanged
+// with scale 1.
+func (is *Ising) Normalized() (*Ising, float64) {
+	m := is.MaxAbsCoeff()
+	if m == 0 {
+		return is.Clone(), 1
+	}
+	out := is.Clone()
+	inv := 1 / m
+	for i := range out.H {
+		out.H[i] *= inv
+	}
+	for i := range out.Adj {
+		for k := range out.Adj[i] {
+			out.Adj[i][k].J *= inv
+		}
+	}
+	out.Offset *= inv
+	return out, inv
+}
+
+// ToQUBO converts to the exactly energy-equivalent QUBO under
+// s_i = 2·q_i − 1.
+func (is *Ising) ToQUBO() *QUBO {
+	q := New(is.N)
+	q.Offset = is.Offset
+	for i, h := range is.H {
+		// h·s = h·(2q−1) = 2h·q − h
+		q.AddCoeff(i, i, 2*h)
+		q.Offset -= h
+	}
+	for i, adj := range is.Adj {
+		for _, c := range adj {
+			if c.To <= i {
+				continue
+			}
+			j, v := c.To, c.J
+			// J·s_i·s_j = J(2q_i−1)(2q_j−1) = 4J·q_iq_j − 2J·q_i − 2J·q_j + J
+			q.AddCoeff(i, j, 4*v)
+			q.AddCoeff(i, i, -2*v)
+			q.AddCoeff(j, j, -2*v)
+			q.Offset += v
+		}
+	}
+	return q
+}
+
+// Sample is a solver's answer in Ising (spin) space.
+type Sample struct {
+	Spins  []int8
+	Energy float64
+}
+
+// Validate checks structural sanity: finite terms, symmetric adjacency.
+func (is *Ising) Validate() error {
+	for i, h := range is.H {
+		if math.IsNaN(h) || math.IsInf(h, 0) {
+			return fmt.Errorf("qubo: non-finite field h[%d]", i)
+		}
+	}
+	for i, adj := range is.Adj {
+		for _, c := range adj {
+			if c.To < 0 || c.To >= is.N || c.To == i {
+				return fmt.Errorf("qubo: bad coupling endpoint %d->%d", i, c.To)
+			}
+			if math.IsNaN(c.J) || math.IsInf(c.J, 0) {
+				return fmt.Errorf("qubo: non-finite coupling %d-%d", i, c.To)
+			}
+			if got := is.Coupling(c.To, i); got != c.J {
+				return fmt.Errorf("qubo: asymmetric coupling %d-%d (%g vs %g)", i, c.To, c.J, got)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package qubo
+
+import "fmt"
+
+// This file implements sample-persistence variable fixing (Karimi &
+// Rosenberg, "Boosting quantum annealer performance via sample
+// persistence", the paper's reference [28], cited in §2 as the
+// "prefixing some variables as part of iterative loops" hybridization):
+// spins that take the same value across (the elite fraction of) a sample
+// batch are deemed decided, clamped, and the solver recurses on the
+// shrunken problem.
+
+// PersistentSpins inspects the best eliteFraction of samples (by energy)
+// and returns the indices and values of spins whose value agrees across
+// at least agreement of them. eliteFraction and agreement are in (0, 1];
+// typical values are 0.5 and 1.0 (strict unanimity).
+func PersistentSpins(samples []Sample, eliteFraction, agreement float64) (vars []int, values []int8, err error) {
+	if len(samples) == 0 {
+		return nil, nil, fmt.Errorf("qubo: persistence needs samples")
+	}
+	if eliteFraction <= 0 || eliteFraction > 1 || agreement <= 0 || agreement > 1 {
+		return nil, nil, fmt.Errorf("qubo: persistence fractions must lie in (0,1]")
+	}
+	n := len(samples[0].Spins)
+	elite := selectElite(samples, eliteFraction)
+	need := int(agreement * float64(len(elite)))
+	if need < 1 {
+		need = 1
+	}
+	for i := 0; i < n; i++ {
+		up := 0
+		for _, s := range elite {
+			if s.Spins[i] > 0 {
+				up++
+			}
+		}
+		if up >= need {
+			vars = append(vars, i)
+			values = append(values, 1)
+		} else if len(elite)-up >= need {
+			vars = append(vars, i)
+			values = append(values, -1)
+		}
+	}
+	return vars, values, nil
+}
+
+// selectElite returns the eliteFraction lowest-energy samples (at least
+// one) without mutating the input.
+func selectElite(samples []Sample, eliteFraction float64) []Sample {
+	k := int(eliteFraction * float64(len(samples)))
+	if k < 1 {
+		k = 1
+	}
+	out := append([]Sample(nil), samples...)
+	// Partial selection sort; k is usually small relative to len.
+	for i := 0; i < k; i++ {
+		min := i
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Energy < out[min].Energy {
+				min = j
+			}
+		}
+		out[i], out[min] = out[min], out[i]
+	}
+	return out[:k]
+}
+
+// ClampComplement returns the subproblem over the NON-persistent spins
+// with the persistent ones clamped to their agreed values, starting from
+// the given reference state (whose persistent entries are overridden).
+// Returns nil (no subproblem) when everything persisted.
+func ClampComplement(is *Ising, state []int8, vars []int, values []int8) (*Subproblem, []int8, error) {
+	if len(vars) != len(values) {
+		return nil, nil, fmt.Errorf("qubo: vars/values length mismatch")
+	}
+	clamped := append([]int8(nil), state...)
+	fixed := make(map[int]bool, len(vars))
+	for k, v := range vars {
+		if v < 0 || v >= is.N {
+			return nil, nil, fmt.Errorf("qubo: persistent spin %d out of range", v)
+		}
+		clamped[v] = values[k]
+		fixed[v] = true
+	}
+	var free []int
+	for i := 0; i < is.N; i++ {
+		if !fixed[i] {
+			free = append(free, i)
+		}
+	}
+	if len(free) == 0 {
+		return nil, clamped, nil
+	}
+	sub, err := NewSubproblem(is, free, clamped)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, clamped, nil
+}

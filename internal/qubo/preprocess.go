@@ -1,0 +1,155 @@
+package qubo
+
+// This file implements the "Simplifying the QUBO form" pre-processing
+// scheme evaluated in §3.1 / Figure 3 of the paper, following the variable-
+// fixing rules of Lewis & Glover, "Quadratic unconstrained binary
+// optimization problem preprocessing: Theory and empirical analysis"
+// (Networks, 2017), the paper's reference [34].
+//
+// For variable i, its contribution to the cost when q_i = 1 is
+//
+//	Q_ii + Σ_{j≠i} Q_ij·q_j ,
+//
+// whose value lies between Q_ii + Σ_j min(0, Q_ij) and
+// Q_ii + Σ_j max(0, Q_ij) over all completions q_j. Hence:
+//
+//   - if Q_ii + Σ_j min(0, Q_ij) ≥ 0, setting q_i = 0 is optimal in some
+//     global optimum (turning the bit on can never reduce the cost);
+//   - if Q_ii + Σ_j max(0, Q_ij) ≤ 0, setting q_i = 1 is optimal in some
+//     global optimum (turning the bit on can never increase the cost).
+//
+// (The paper's prose describes the first rule with "fixed to 1", which is a
+// typo: with Q_ii > 0 dominating all negative interactions the variable's
+// activation is always non-improving, so it is fixed to 0.)
+//
+// Fixing one variable folds its interactions into the linear terms of its
+// neighbours, which can enable further fixings, so the rules run to a fixed
+// point.
+
+// FixedVar records one pre-processing decision.
+type FixedVar struct {
+	Index int  // variable index in the original QUBO
+	Value int8 // 0 or 1
+}
+
+// PreprocessResult describes the outcome of variable-fixing preprocessing.
+type PreprocessResult struct {
+	// Fixed lists the fixed variables in the order they were fixed, with
+	// indices referring to the ORIGINAL problem.
+	Fixed []FixedVar
+	// Reduced is the residual QUBO over the unfixed variables (possibly of
+	// size 0 if everything was fixed). Its Offset absorbs the energy
+	// contribution of the fixed variables, so for any assignment of the
+	// reduced problem, Reduced.Energy(r) equals the original energy of the
+	// corresponding full assignment.
+	Reduced *QUBO
+	// Map gives, for each reduced-variable index, the original index.
+	Map []int
+	// Simplified reports whether at least one variable was fixed — the
+	// event whose frequency Figure 3 (left) plots.
+	Simplified bool
+}
+
+// Preprocess applies the Lewis–Glover fixing rules to a fixed point and
+// returns the reduction. The input is not modified.
+func Preprocess(q *QUBO) *PreprocessResult {
+	cur := q.Clone()
+	origIdx := make([]int, cur.n) // current position -> original index
+	for i := range origIdx {
+		origIdx[i] = i
+	}
+	var fixed []FixedVar
+	for {
+		i, v, ok := findFixable(cur)
+		if !ok {
+			break
+		}
+		fixed = append(fixed, FixedVar{Index: origIdx[i], Value: v})
+		cur = fixVariable(cur, i, v)
+		origIdx = append(origIdx[:i], origIdx[i+1:]...)
+	}
+	return &PreprocessResult{
+		Fixed:      fixed,
+		Reduced:    cur,
+		Map:        origIdx,
+		Simplified: len(fixed) > 0,
+	}
+}
+
+// findFixable scans for the first variable that one of the two rules fixes.
+func findFixable(q *QUBO) (i int, value int8, ok bool) {
+	for i = 0; i < q.n; i++ {
+		d := q.Coeff(i, i)
+		var negSum, posSum float64
+		for j := 0; j < q.n; j++ {
+			if j == i {
+				continue
+			}
+			c := q.Coeff(i, j)
+			if c < 0 {
+				negSum += c
+			} else {
+				posSum += c
+			}
+		}
+		if d+negSum >= 0 {
+			return i, 0, true
+		}
+		if d+posSum <= 0 {
+			return i, 1, true
+		}
+	}
+	return 0, 0, false
+}
+
+// fixVariable substitutes q_i = v into the QUBO, producing a problem over
+// the remaining n−1 variables whose energies equal the original ones.
+func fixVariable(q *QUBO, i int, v int8) *QUBO {
+	out := New(q.n - 1)
+	out.Offset = q.Offset
+	if v == 1 {
+		out.Offset += q.Coeff(i, i)
+	}
+	// newIdx maps old index -> new index, skipping i.
+	newIdx := func(j int) int {
+		if j < i {
+			return j
+		}
+		return j - 1
+	}
+	for a := 0; a < q.n; a++ {
+		if a == i {
+			continue
+		}
+		// Interaction with the fixed variable folds into a's linear term.
+		if v == 1 {
+			out.AddCoeff(newIdx(a), newIdx(a), q.Coeff(a, i))
+		}
+		for b := a; b < q.n; b++ {
+			if b == i {
+				continue
+			}
+			if c := q.Coeff(a, b); c != 0 {
+				out.AddCoeff(newIdx(a), newIdx(b), c)
+			}
+		}
+	}
+	return out
+}
+
+// Expand lifts an assignment of the reduced problem back to the original
+// variable space, filling in the fixed values.
+func (p *PreprocessResult) Expand(reducedBits []int8) []int8 {
+	if len(reducedBits) != p.Reduced.n {
+		panic("qubo: Expand with wrong-length reduced assignment")
+	}
+	n := p.Reduced.n + len(p.Fixed)
+	full := make([]int8, n)
+	for r, orig := range p.Map {
+		full[orig] = reducedBits[r]
+	}
+	for _, f := range p.Fixed {
+		full[f.Index] = f.Value
+	}
+	return full
+}

@@ -1,0 +1,92 @@
+package qubo
+
+import "fmt"
+
+// Subproblem clamps every spin outside vars to its value in state and
+// returns the induced Ising model over the |vars| free spins — the
+// decomposition primitive behind iterative hybrid solvers (the paper's
+// references [44, 58]: fixing part of the problem classically and
+// optimizing the rest on the quantum device).
+//
+// The clamped spins' interactions fold into the free spins' fields
+// (h_i += Σ_clamped J_ij·s_j) and the clamped-clamped energy folds into
+// the offset, so for any assignment of the free spins the subproblem's
+// energy equals the full problem's energy with those spins substituted.
+type Subproblem struct {
+	Ising *Ising
+	// Vars maps sub-index -> full-problem index.
+	Vars []int
+}
+
+// NewSubproblem builds the clamped model. vars must be distinct and in
+// range; state must be a full assignment (only its non-vars entries are
+// read).
+func NewSubproblem(is *Ising, vars []int, state []int8) (*Subproblem, error) {
+	if len(state) != is.N {
+		return nil, fmt.Errorf("qubo: subproblem state has %d spins, problem %d", len(state), is.N)
+	}
+	if len(vars) == 0 {
+		return nil, fmt.Errorf("qubo: empty subproblem")
+	}
+	subIdx := make(map[int]int, len(vars))
+	for si, v := range vars {
+		if v < 0 || v >= is.N {
+			return nil, fmt.Errorf("qubo: subproblem variable %d out of range", v)
+		}
+		if _, dup := subIdx[v]; dup {
+			return nil, fmt.Errorf("qubo: duplicate subproblem variable %d", v)
+		}
+		subIdx[v] = si
+	}
+	sub := NewIsing(len(vars))
+	sub.Offset = is.Offset
+	// Clamped-clamped contributions fold into the offset.
+	for i := 0; i < is.N; i++ {
+		if _, free := subIdx[i]; free {
+			continue
+		}
+		sub.Offset += is.H[i] * float64(state[i])
+		for _, c := range is.Adj[i] {
+			if _, free := subIdx[c.To]; !free && c.To > i {
+				sub.Offset += c.J * float64(state[i]) * float64(state[c.To])
+			}
+		}
+	}
+	// Free spins keep their couplings among themselves; couplings to
+	// clamped spins become fields.
+	for si, v := range vars {
+		sub.H[si] = is.H[v]
+		for _, c := range is.Adj[v] {
+			if sj, free := subIdx[c.To]; free {
+				if c.To > v {
+					sub.SetCoupling(si, sj, c.J)
+				}
+			} else {
+				sub.H[si] += c.J * float64(state[c.To])
+			}
+		}
+	}
+	return &Subproblem{Ising: sub, Vars: append([]int(nil), vars...)}, nil
+}
+
+// Apply writes a subproblem assignment back into a copy of the full
+// state and returns it.
+func (s *Subproblem) Apply(state []int8, subSpins []int8) []int8 {
+	if len(subSpins) != len(s.Vars) {
+		panic("qubo: subproblem Apply length mismatch")
+	}
+	out := append([]int8(nil), state...)
+	for si, v := range s.Vars {
+		out[v] = subSpins[si]
+	}
+	return out
+}
+
+// Extract reads the current values of the subproblem's variables.
+func (s *Subproblem) Extract(state []int8) []int8 {
+	out := make([]int8, len(s.Vars))
+	for si, v := range s.Vars {
+		out[si] = state[v]
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package qubo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestSubproblemEnergyEquivalence is the decomposition invariant: for any
+// assignment of the free spins, the subproblem energy equals the full
+// problem's energy with that assignment substituted.
+func TestSubproblemEnergyEquivalence(t *testing.T) {
+	r := rng.New(51)
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + r.Intn(10)
+		q := randomQUBO(r, n, 3)
+		is := q.ToIsing()
+		state := BitsToSpins(randomBits(r, n))
+		k := 1 + r.Intn(n-1)
+		vars := r.Perm(n)[:k]
+		sub, err := NewSubproblem(is, vars, state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 10; probe++ {
+			subSpins := make([]int8, k)
+			for i := range subSpins {
+				subSpins[i] = r.Spin()
+			}
+			full := sub.Apply(state, subSpins)
+			if math.Abs(sub.Ising.Energy(subSpins)-is.Energy(full)) > 1e-9 {
+				t.Fatalf("subproblem energy %v != full %v",
+					sub.Ising.Energy(subSpins), is.Energy(full))
+			}
+		}
+	}
+}
+
+// TestSubproblemOptimumImproves: replacing the block with the
+// subproblem's exhaustive optimum never increases the full energy.
+func TestSubproblemOptimumImproves(t *testing.T) {
+	r := rng.New(53)
+	for trial := 0; trial < 20; trial++ {
+		n := 6 + r.Intn(8)
+		q := randomQUBO(r, n, 2)
+		is := q.ToIsing()
+		state := BitsToSpins(randomBits(r, n))
+		before := is.Energy(state)
+		vars := r.Perm(n)[:n/2]
+		sub, err := NewSubproblem(is, vars, state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, err := ExhaustiveIsing(sub.Ising)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := is.Energy(sub.Apply(state, best.Spins))
+		if after > before+1e-9 {
+			t.Fatalf("block optimization increased energy: %v -> %v", before, after)
+		}
+		if math.Abs(after-best.Energy) > 1e-9 {
+			t.Fatalf("sub optimum energy %v != substituted energy %v", best.Energy, after)
+		}
+	}
+}
+
+// TestSubproblemFullCover: a subproblem over ALL variables reproduces the
+// original model's energies.
+func TestSubproblemFullCover(t *testing.T) {
+	r := rng.New(55)
+	q := randomQUBO(r, 8, 2)
+	is := q.ToIsing()
+	state := BitsToSpins(randomBits(r, 8))
+	all := make([]int, 8)
+	for i := range all {
+		all[i] = i
+	}
+	sub, err := NewSubproblem(is, all, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for probe := 0; probe < 20; probe++ {
+		spins := BitsToSpins(randomBits(r, 8))
+		if math.Abs(sub.Ising.Energy(spins)-is.Energy(spins)) > 1e-9 {
+			t.Fatal("full-cover subproblem differs from original")
+		}
+	}
+}
+
+func TestSubproblemValidation(t *testing.T) {
+	is := NewIsing(4)
+	state := []int8{1, 1, 1, 1}
+	if _, err := NewSubproblem(is, nil, state); err == nil {
+		t.Fatal("empty subproblem accepted")
+	}
+	if _, err := NewSubproblem(is, []int{0, 0}, state); err == nil {
+		t.Fatal("duplicate variable accepted")
+	}
+	if _, err := NewSubproblem(is, []int{5}, state); err == nil {
+		t.Fatal("out-of-range variable accepted")
+	}
+	if _, err := NewSubproblem(is, []int{0}, state[:2]); err == nil {
+		t.Fatal("short state accepted")
+	}
+}
+
+func TestSubproblemExtractApplyRoundTrip(t *testing.T) {
+	is := NewIsing(5)
+	is.SetCoupling(0, 4, 1)
+	state := []int8{1, -1, 1, -1, 1}
+	sub, err := NewSubproblem(is, []int{4, 1}, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sub.Extract(state)
+	if got[0] != 1 || got[1] != -1 {
+		t.Fatalf("Extract = %v", got)
+	}
+	applied := sub.Apply(state, []int8{-1, 1})
+	if applied[4] != -1 || applied[1] != 1 || applied[0] != 1 {
+		t.Fatalf("Apply = %v", applied)
+	}
+	// Original state untouched.
+	if state[4] != 1 {
+		t.Fatal("Apply mutated the input state")
+	}
+}
