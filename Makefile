@@ -1,0 +1,28 @@
+# Tier-1 gate: everything `make check` runs must stay green on every
+# change (see ROADMAP.md). No external dependencies — Go toolchain only.
+
+GO ?= go
+
+.PHONY: check vet build test race fuzz-smoke fmt
+
+check: vet build test race fuzz-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Run every fuzz target's seed corpus (no open-ended fuzzing): catches
+# regressions on the known-interesting inputs in CI time.
+fuzz-smoke:
+	$(GO) test -run 'Fuzz' ./internal/...
+
+fmt:
+	gofmt -l .

@@ -9,6 +9,7 @@
 //	annealsim -spins 24 -schedule ra -sp 0.45 -reads 500
 //	annealsim -instance inst.json -schedule fr -cp 0.7 -sp 0.4
 //	annealsim -spins 16 -schedule ra -engine pimc -embed
+//	annealsim -spins 24 -schedule ra -fault-timeout 0.3 -fault-storm 0.2
 package main
 
 import (
@@ -39,6 +40,11 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		ice      = flag.Bool("ice", false, "apply 2000Q-typical control-error noise")
 		plot     = flag.Bool("plot", false, "render the anneal schedule (Figure 5 style)")
+
+		faultProg    = flag.Float64("fault-prog", 0, "programming-failure probability per call")
+		faultTimeout = flag.Float64("fault-timeout", 0, "per-read timeout probability")
+		faultStorm   = flag.Float64("fault-storm", 0, "per-read chain-break-storm probability")
+		faultDrift   = flag.Float64("fault-drift", 0, "per-read calibration-drift probability")
 	)
 	flag.Parse()
 
@@ -86,6 +92,12 @@ func main() {
 	if *ice {
 		params.ICE = annealer.DWave2000QICE()
 	}
+	params.Faults = annealer.FaultModel{
+		ProgrammingFailureRate: *faultProg,
+		ReadTimeoutRate:        *faultTimeout,
+		ChainBreakStormRate:    *faultStorm,
+		CalibrationDriftRate:   *faultDrift,
+	}
 	if sc.StartsClassical() {
 		// Initialize RA with the greedy candidate, as the hybrid does.
 		params.InitialState = qubo.GreedySearchIsing(is, qubo.OrderDescending)
@@ -100,7 +112,15 @@ func main() {
 		res, err = annealer.Run(is, params, r)
 	}
 	if err != nil {
+		if fe, ok := annealer.AsFault(err); ok {
+			fatalf("run lost to injected fault: %s (retry or fall back to a classical answer)", fe.Kind)
+		}
 		fatalf("run: %v", err)
+	}
+	if params.Faults.Enabled() {
+		fmt.Printf("injected faults: %d read timeouts, %d chain-break storms, %d calibration drifts (%d/%d reads survived)\n",
+			res.Faults.ReadTimeouts, res.Faults.ChainBreakStorms, res.Faults.CalibrationDrifts,
+			len(res.Samples), *reads)
 	}
 
 	var energies []float64

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate: 2|3|4|6|7|8|headline|ablation-*|ber|hardness|qaoa|all")
+		fig   = flag.String("fig", "all", "figure to regenerate: 2|3|4|6|7|8|headline|ablation-*|ber|hardness|qaoa|capacity|availability|all")
 		scale = flag.String("scale", "quick", "effort: quick|full")
 		out   = flag.String("out", "", "directory for per-figure output files (default stdout)")
 		seed  = flag.Uint64("seed", 0, "override experiment seed (0 = default)")
@@ -43,7 +43,7 @@ func main() {
 
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {
-		figs = []string{"2", "3", "4", "6", "7", "8", "headline", "ablation-modules", "ablation-device", "ablation-gsorder", "ber", "hardness", "qaoa", "capacity"}
+		figs = []string{"2", "3", "4", "6", "7", "8", "headline", "ablation-modules", "ablation-device", "ablation-gsorder", "ber", "hardness", "qaoa", "capacity", "availability"}
 	}
 	for _, f := range figs {
 		if err := runFigure(strings.TrimSpace(f), cfg, *out); err != nil {
@@ -89,6 +89,8 @@ func runFigure(fig string, cfg experiments.Config, outDir string) error {
 		res, err = experiments.RunQAOA(cfg)
 	case "capacity":
 		res, err = experiments.RunCapacity(cfg)
+	case "availability":
+		res, err = experiments.RunAvailability(cfg)
 	default:
 		return fmt.Errorf("unknown figure %q (2|3|4|6|7|8|headline|ablation-modules|ablation-device|ablation-gsorder)", fig)
 	}

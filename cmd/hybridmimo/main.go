@@ -42,6 +42,12 @@ func main() {
 		sweep   = flag.Bool("sweep", false, "sweep s_p and report the best operating point")
 		embed   = flag.Bool("embed", false, "run anneals through the Chimera-embedded QPU model")
 		verbose = flag.Bool("v", false, "print per-sample details")
+
+		faultProg    = flag.Float64("fault-prog", 0, "QPU programming-failure probability per call")
+		faultTimeout = flag.Float64("fault-timeout", 0, "per-read timeout probability")
+		faultStorm   = flag.Float64("fault-storm", 0, "per-read chain-break-storm probability")
+		faultDrift   = flag.Float64("fault-drift", 0, "per-read calibration-drift probability")
+		fallback     = flag.Bool("fallback", false, "answer with the classical candidate when the quantum stage faults (gs+ra/zf+ra/random+ra)")
 	)
 	flag.Parse()
 
@@ -70,6 +76,12 @@ func main() {
 	if *embed {
 		cfg.QPU = annealer.NewQPU2000Q()
 	}
+	cfg.Faults = annealer.FaultModel{
+		ProgrammingFailureRate: *faultProg,
+		ReadTimeoutRate:        *faultTimeout,
+		ChainBreakStormRate:    *faultStorm,
+		CalibrationDriftRate:   *faultDrift,
+	}
 	r := rng.New(*seed ^ 0xABCDEF)
 
 	if *sweep {
@@ -84,7 +96,7 @@ func main() {
 		return
 	}
 
-	symbols, info, err := solve(*solver, inst, cfg, *reads, *sp, r)
+	symbols, info, err := solve(*solver, inst, cfg, *reads, *sp, *fallback, r)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -106,7 +118,7 @@ func main() {
 	}
 }
 
-func solve(name string, inst *instance.Instance, cfg core.AnnealConfig, reads int, sp float64, r *rng.Source) ([]complex128, string, error) {
+func solve(name string, inst *instance.Instance, cfg core.AnnealConfig, reads int, sp float64, fallback bool, r *rng.Source) ([]complex128, string, error) {
 	red := inst.Reduction
 	is := red.Ising
 	deltaOf := func(e float64) float64 {
@@ -142,11 +154,11 @@ func solve(name string, inst *instance.Instance, cfg core.AnnealConfig, reads in
 	case "fr":
 		out, err = (&core.ForwardReverseSolver{NumReads: reads, Sp: sp, Config: cfg}).Solve(red, r)
 	case "gs+ra":
-		out, err = (&core.Hybrid{Sp: sp, NumReads: reads, Config: cfg}).Solve(red, r)
+		out, err = (&core.Hybrid{Sp: sp, NumReads: reads, Config: cfg, FallbackOnFault: fallback}).Solve(red, r)
 	case "zf+ra":
-		out, err = (&core.Hybrid{Classical: core.DetectorModule{Detector: mimo.ZeroForcing{}}, Sp: sp, NumReads: reads, Config: cfg}).Solve(red, r)
+		out, err = (&core.Hybrid{Classical: core.DetectorModule{Detector: mimo.ZeroForcing{}}, Sp: sp, NumReads: reads, Config: cfg, FallbackOnFault: fallback}).Solve(red, r)
 	case "random+ra":
-		out, err = (&core.Hybrid{Classical: core.RandomModule{}, Sp: sp, NumReads: reads, Config: cfg}).Solve(red, r)
+		out, err = (&core.Hybrid{Classical: core.RandomModule{}, Sp: sp, NumReads: reads, Config: cfg, FallbackOnFault: fallback}).Solve(red, r)
 	case "fa+descent":
 		out, err = (&core.PostProcessing{Forward: core.ForwardSolver{NumReads: reads, Config: cfg}}).Solve(red, r)
 	case "co":
@@ -161,9 +173,19 @@ func solve(name string, inst *instance.Instance, cfg core.AnnealConfig, reads in
 	if err != nil {
 		return nil, "", err
 	}
+	if out.Source == core.AnswerClassicalFallback {
+		info := fmt.Sprintf("answer source: %s (quantum fault: %v)\n", out.Source, out.Fault)
+		info += fmt.Sprintf("classical candidate ΔE_IS%%: %.3f\n", deltaOf(out.InitialEnergy))
+		return out.Symbols, info, nil
+	}
 	p := metrics.SuccessProbability(out.Samples, inst.GroundEnergy, 1e-6)
 	info := fmt.Sprintf("best sample ΔE%%: %.3f  p★: %.4f  anneal time: %.1f μs (%d reads × %.2f μs)\n",
 		deltaOf(out.Best.Energy), p, out.AnnealTime, len(out.Samples), out.ScheduleDuration)
+	info += fmt.Sprintf("answer source: %s\n", out.Source)
+	if out.FaultStats.Total() > 0 {
+		info += fmt.Sprintf("injected faults survived: %d timeouts, %d storms, %d drifts\n",
+			out.FaultStats.ReadTimeouts, out.FaultStats.ChainBreakStorms, out.FaultStats.CalibrationDrifts)
+	}
 	if out.InitialState != nil {
 		info += fmt.Sprintf("classical candidate ΔE_IS%%: %.3f\n", deltaOf(out.InitialEnergy))
 	}

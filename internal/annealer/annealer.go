@@ -9,6 +9,11 @@ import (
 	"repro/internal/rng"
 )
 
+// MaxReads bounds NumReads so per-read RNG stream derivation (uint64 read
+// keys) and μs accounting (exact float64 integers) cannot overflow —
+// requests beyond it are configuration errors, not workloads.
+const MaxReads = 1 << 30
+
 // Params configures a batch of anneal reads (the N_s device calls of §2).
 type Params struct {
 	// Schedule is the anneal program (required).
@@ -16,7 +21,7 @@ type Params struct {
 	// InitialState is the programmed classical state for reverse
 	// annealing; required iff the schedule starts at s = 1.
 	InitialState []int8
-	// NumReads is the number of samples to draw (default 1).
+	// NumReads is the number of samples to draw (default 1, max MaxReads).
 	NumReads int
 	// Engine simulates the quantum dynamics (default SVMC{}).
 	Engine Engine
@@ -29,6 +34,9 @@ type Params struct {
 	// ICE adds control-error noise to the programmed coefficients on
 	// every read (default none).
 	ICE ICE
+	// Faults injects hard device failures — programming failures, read
+	// timeouts, chain-break storms, calibration drift (default none).
+	Faults FaultModel
 	// NoQuench disables the end-of-anneal quench. By default every read
 	// is relaxed to its local minimum by zero-temperature steepest
 	// descent before readout, modelling the freeze-out at the very end of
@@ -53,6 +61,12 @@ func (p Params) withDefaults() (Params, error) {
 	if p.NumReads <= 0 {
 		p.NumReads = 1
 	}
+	if p.NumReads > MaxReads {
+		return p, fmt.Errorf("annealer: %d reads exceed the per-read stream limit %d", p.NumReads, MaxReads)
+	}
+	if p.Parallelism < 0 {
+		return p, fmt.Errorf("annealer: negative parallelism %d", p.Parallelism)
+	}
 	if p.Engine == nil {
 		p.Engine = SVMC{}
 	}
@@ -61,6 +75,9 @@ func (p Params) withDefaults() (Params, error) {
 		p.Profile = &prof
 	}
 	if err := p.Profile.Validate(); err != nil {
+		return p, err
+	}
+	if err := p.Faults.Validate(); err != nil {
 		return p, err
 	}
 	if p.SweepsPerMicrosecond == 0 {
@@ -74,8 +91,10 @@ func (p Params) withDefaults() (Params, error) {
 
 // Result is the outcome of a batch of reads.
 type Result struct {
-	// Samples holds every read's measured state and its energy under the
-	// ORIGINAL (unnormalized) problem.
+	// Samples holds every surviving read's measured state and its energy
+	// under the ORIGINAL (unnormalized) problem. Reads lost to injected
+	// timeouts are dropped; len(Samples) may be below NumReads when a
+	// FaultModel is active.
 	Samples []qubo.Sample
 	// Best is the lowest-energy sample (§2: "the best sample is selected
 	// as the final solution").
@@ -83,17 +102,51 @@ type Result struct {
 	// ScheduleDuration is one read's anneal time in μs.
 	ScheduleDuration float64
 	// TotalAnnealTime = NumReads × ScheduleDuration (μs), the quantity
-	// TTS-style metrics account.
+	// TTS-style metrics account. Timed-out reads still occupy the device,
+	// so they are charged.
 	TotalAnnealTime float64
 	// BrokenChainRate is the fraction of (read × chain) events where a
 	// chain was not unanimous; zero for unembedded runs.
 	BrokenChainRate float64
+	// Faults tallies the soft faults injected into this batch.
+	Faults FaultStats
+}
+
+// readFault carries one read's fault flags; indexed per read so the
+// parallel read loop tallies without shared state.
+type readFault struct {
+	timeout, storm, drift bool
+}
+
+// compactReads drops timed-out reads (keeping read order) and tallies the
+// batch's fault statistics.
+func compactReads(samples []qubo.Sample, faults []readFault) ([]qubo.Sample, FaultStats) {
+	var stats FaultStats
+	kept := samples[:0]
+	for i, f := range faults {
+		if f.timeout {
+			stats.ReadTimeouts++
+			continue
+		}
+		if f.storm {
+			stats.ChainBreakStorms++
+		}
+		if f.drift {
+			stats.CalibrationDrifts++
+		}
+		kept = append(kept, samples[i])
+	}
+	return kept, stats
 }
 
 // Run draws reads from the simulated annealer for a logical (all-to-all
 // capable) problem. The problem is normalized to the device coefficient
 // range for the dynamics; reported energies are in the caller's original
 // scale.
+//
+// With an active FaultModel, Run returns a *FaultError when the batch
+// programming fails or every read is lost; surviving soft faults are
+// reported in Result.Faults.
 func Run(is *qubo.Ising, p Params, r *rng.Source) (*Result, error) {
 	p, err := p.withDefaults()
 	if err != nil {
@@ -105,38 +158,52 @@ func Run(is *qubo.Ising, p Params, r *rng.Source) (*Result, error) {
 	if p.Schedule.StartsClassical() && len(p.InitialState) != is.N {
 		return nil, fmt.Errorf("annealer: reverse anneal needs an initial state of %d spins, got %d", is.N, len(p.InitialState))
 	}
+	// Batch-level fault: the device rejects the programming cycle. Drawn
+	// from a dedicated split so the per-read streams below are untouched.
+	if p.Faults.programmingFails(r.SplitString("fault/programming")) {
+		return nil, &FaultError{Kind: FaultProgramming}
+	}
 	norm, _ := is.Normalized()
 	res := &Result{ScheduleDuration: p.Schedule.Duration()}
-	res.Samples = sampleReads(p.NumReads, p.Parallelism, r, func(rr *rng.Source) []int8 {
+	samples := make([]qubo.Sample, p.NumReads)
+	faults := make([]readFault, p.NumReads)
+	parallelFor(p.NumReads, p.Parallelism, func(read int) {
+		rr := r.Split(uint64(read))
+		fr := rr.SplitString("fault") // Split never advances rr: dynamics stay fault-independent
+		if p.Faults.readTimesOut(fr) {
+			faults[read].timeout = true
+			return
+		}
 		prog := p.ICE.Perturb(norm, rr)
+		prog, faults[read].drift = p.Faults.drift(prog, fr)
 		spins := p.Engine.Anneal(prog, p.Schedule, *p.Profile, p.InitialState, p.SweepsPerMicrosecond, rr)
 		if !p.NoQuench {
 			spins = qubo.SteepestDescent(prog, spins).Spins
 		}
-		return spins
-	}, is.Energy)
-	res.Best = bestSample(res.Samples)
+		faults[read].storm = p.Faults.storm(spins, fr)
+		samples[read] = qubo.Sample{Spins: spins, Energy: is.Energy(spins)}
+	})
+	res.Samples, res.Faults = compactReads(samples, faults)
 	res.TotalAnnealTime = float64(p.NumReads) * res.ScheduleDuration
+	if len(res.Samples) == 0 {
+		return nil, &FaultError{Kind: FaultAllReadsLost}
+	}
+	res.Best = bestSample(res.Samples)
 	return res, nil
 }
 
-// sampleReads draws numReads samples, optionally across a worker pool.
-// Read i always uses r.Split(i), so the result is independent of the
-// parallelism level.
-func sampleReads(numReads, parallelism int, r *rng.Source, anneal func(*rng.Source) []int8, energy func([]int8) float64) []qubo.Sample {
-	samples := make([]qubo.Sample, numReads)
-	oneRead := func(read int) {
-		spins := anneal(r.Split(uint64(read)))
-		samples[read] = qubo.Sample{Spins: spins, Energy: energy(spins)}
-	}
-	if parallelism <= 1 || numReads <= 1 {
-		for read := 0; read < numReads; read++ {
-			oneRead(read)
+// parallelFor runs body(0..n-1), optionally across a worker pool. Callers
+// derive read i's RNG stream from its index, so the result is independent
+// of the parallelism level.
+func parallelFor(n, parallelism int, body func(i int)) {
+	if parallelism <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
 		}
-		return samples
+		return
 	}
-	if parallelism > numReads {
-		parallelism = numReads
+	if parallelism > n {
+		parallelism = n
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -144,17 +211,16 @@ func sampleReads(numReads, parallelism int, r *rng.Source, anneal func(*rng.Sour
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for read := range jobs {
-				oneRead(read)
+			for i := range jobs {
+				body(i)
 			}
 		}()
 	}
-	for read := 0; read < numReads; read++ {
-		jobs <- read
+	for i := 0; i < n; i++ {
+		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
-	return samples
 }
 
 // bestSample returns the lowest-energy sample (first wins ties).
@@ -202,6 +268,10 @@ func (q *QPU) ServiceTime(sc *Schedule, numReads int) float64 {
 // Run embeds the logical problem onto the smallest sufficient Chimera
 // region (bounded by Grid), anneals the physical problem, and unembeds
 // each read. Sample energies are logical-problem energies.
+//
+// Injected faults behave as in the logical Run; chain-break storms corrupt
+// the PHYSICAL readout, so majority-vote unembedding partially heals them
+// — chain redundancy is a storm mitigation the logical path lacks.
 func (q *QPU) Run(logical *qubo.Ising, p Params, r *rng.Source) (*Result, error) {
 	p, err := p.withDefaults()
 	if err != nil {
@@ -233,33 +303,47 @@ func (q *QPU) Run(logical *qubo.Ising, p Params, r *rng.Source) (*Result, error)
 		}
 		p.InitialState = emb.EmbedSpins(p.InitialState)
 	}
+	if p.Faults.programmingFails(r.SplitString("fault/programming")) {
+		return nil, &FaultError{Kind: FaultProgramming}
+	}
 	normPhys, _ := phys.Normalized()
 	res := &Result{ScheduleDuration: p.Schedule.Duration()}
+	samples := make([]qubo.Sample, p.NumReads)
+	faults := make([]readFault, p.NumReads)
 	// Chain breakage is counted on the RAW engine output — the state the
 	// device's readout would see — before the quench heals chains on the
-	// way to each sample's reported basin.
-	totalBroken := 0
-	var brokenMu sync.Mutex
-	res.Samples = sampleReads(p.NumReads, p.Parallelism, r, func(rr *rng.Source) []int8 {
+	// way to each sample's reported basin, and before any storm.
+	broken := make([]int, p.NumReads)
+	parallelFor(p.NumReads, p.Parallelism, func(read int) {
+		rr := r.Split(uint64(read))
+		fr := rr.SplitString("fault")
+		if p.Faults.readTimesOut(fr) {
+			faults[read].timeout = true
+			return
+		}
 		prog := p.ICE.Perturb(normPhys, rr)
+		prog, faults[read].drift = p.Faults.drift(prog, fr)
 		physSpins := p.Engine.Anneal(prog, p.Schedule, *p.Profile, p.InitialState, p.SweepsPerMicrosecond, rr)
-		_, b := emb.Unembed(physSpins)
-		brokenMu.Lock()
-		totalBroken += b
-		brokenMu.Unlock()
+		_, broken[read] = emb.Unembed(physSpins)
 		if !p.NoQuench {
 			physSpins = qubo.SteepestDescent(prog, physSpins).Spins
 		}
-		return physSpins
-	}, func([]int8) float64 { return 0 })
-	for i := range res.Samples {
-		spins, _ := emb.Unembed(res.Samples[i].Spins)
-		res.Samples[i] = qubo.Sample{Spins: spins, Energy: logical.Energy(spins)}
-	}
-	if p.NumReads > 0 {
-		res.BrokenChainRate = float64(totalBroken) / float64(p.NumReads*logical.N)
-	}
-	res.Best = bestSample(res.Samples)
+		faults[read].storm = p.Faults.storm(physSpins, fr)
+		spins, _ := emb.Unembed(physSpins)
+		samples[read] = qubo.Sample{Spins: spins, Energy: logical.Energy(spins)}
+	})
+	res.Samples, res.Faults = compactReads(samples, faults)
 	res.TotalAnnealTime = float64(p.NumReads) * res.ScheduleDuration
+	if len(res.Samples) == 0 {
+		return nil, &FaultError{Kind: FaultAllReadsLost}
+	}
+	totalBroken := 0
+	for read, b := range broken {
+		if !faults[read].timeout {
+			totalBroken += b
+		}
+	}
+	res.BrokenChainRate = float64(totalBroken) / float64(len(res.Samples)*logical.N)
+	res.Best = bestSample(res.Samples)
 	return res, nil
 }

@@ -15,6 +15,7 @@ package annealer
 
 import (
 	"fmt"
+	"math"
 )
 
 // Point is one vertex of a piecewise-linear anneal schedule: at Time (μs)
@@ -183,12 +184,18 @@ func (sc *Schedule) StartsClassical() bool {
 	return len(sc.Points) > 0 && sc.Points[0].S >= 1
 }
 
-// Validate checks monotone time and in-range anneal fractions.
+// Validate checks finite, monotone time and in-range anneal fractions.
 func (sc *Schedule) Validate() error {
 	if len(sc.Points) < 2 {
 		return fmt.Errorf("annealer: schedule needs at least 2 points")
 	}
 	for i, p := range sc.Points {
+		// NaN fails every ordered comparison, so check finiteness first:
+		// a NaN fraction or timestamp would otherwise slip past the range
+		// and monotonicity tests below and poison At/Render.
+		if math.IsNaN(p.Time) || math.IsInf(p.Time, 0) || math.IsNaN(p.S) || math.IsInf(p.S, 0) {
+			return fmt.Errorf("annealer: point %d not finite (t=%g, s=%g)", i, p.Time, p.S)
+		}
 		if p.S < 0 || p.S > 1 {
 			return fmt.Errorf("annealer: point %d anneal fraction %g out of [0,1]", i, p.S)
 		}

@@ -1,0 +1,77 @@
+package annealer
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// FuzzScheduleValidate throws randomly generated piecewise-linear anneal
+// programs — including hostile ones with NaN/Inf vertices, reversed
+// timestamps, and out-of-range fractions — at Validate. Validate must
+// never panic, and any schedule it accepts must evaluate and render to
+// finite values everywhere.
+func FuzzScheduleValidate(f *testing.F) {
+	f.Add(uint64(1), uint8(4), false)
+	f.Add(uint64(2), uint8(0), false)
+	f.Add(uint64(3), uint8(12), true)
+	f.Add(uint64(0xdead), uint8(2), true)
+	f.Fuzz(func(t *testing.T, seed uint64, n uint8, forceValid bool) {
+		r := rng.New(seed)
+		pts := make([]Point, int(n)%16)
+		tm := 0.0
+		for i := range pts {
+			if forceValid {
+				// Strictly increasing finite times, fractions in [0,1].
+				tm += 0.01 + r.Float64()
+				pts[i] = Point{Time: tm, S: r.Float64()}
+			} else {
+				pts[i] = Point{Time: hostileFloat(r), S: hostileFloat(r)}
+			}
+		}
+		if forceValid && len(pts) > 0 {
+			pts[len(pts)-1].S = 1 // readout requirement
+		}
+		sc := &Schedule{Kind: Kind(int(seed % 4)), Points: pts}
+		err := sc.Validate() // must not panic on any input
+		if err != nil {
+			return
+		}
+		// Accepted schedules must be well-behaved end to end.
+		dur := sc.Duration()
+		if math.IsNaN(dur) || math.IsInf(dur, 0) {
+			t.Fatalf("valid schedule has non-finite duration %g: %+v", dur, pts)
+		}
+		for i := 0; i <= 32; i++ {
+			at := sc.At(dur * float64(i) / 32)
+			if math.IsNaN(at) || math.IsInf(at, 0) || at < 0 || at > 1 {
+				t.Fatalf("valid schedule evaluates to %g at step %d: %+v", at, i, pts)
+			}
+		}
+		art := sc.Render(40, 10)
+		if strings.Contains(art, "NaN") || strings.Contains(art, "Inf") {
+			t.Fatalf("render leaked non-finite values:\n%s", art)
+		}
+	})
+}
+
+// hostileFloat emits finite values mixed with NaN, ±Inf, negatives, and
+// zeros so the fuzzer starts near the interesting corners.
+func hostileFloat(r *rng.Source) float64 {
+	switch r.Uint64() % 8 {
+	case 0:
+		return math.NaN()
+	case 1:
+		return math.Inf(1)
+	case 2:
+		return math.Inf(-1)
+	case 3:
+		return 0
+	case 4:
+		return -r.Float64() * 10
+	default:
+		return (r.Float64() - 0.25) * 4
+	}
+}

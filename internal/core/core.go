@@ -133,6 +133,9 @@ type AnnealConfig struct {
 	SweepsPerMicrosecond float64
 	// ICE is per-read control-error noise.
 	ICE annealer.ICE
+	// Faults injects hard device failures (programming failures, read
+	// timeouts, chain-break storms, calibration drift).
+	Faults annealer.FaultModel
 	// QPU, when set, routes every anneal through Chimera embedding.
 	QPU *annealer.QPU
 	// Parallelism fans anneal reads across goroutines (deterministic at
@@ -149,6 +152,7 @@ func (c AnnealConfig) params(sc *annealer.Schedule, init []int8, reads int) anne
 		Profile:              c.Profile,
 		SweepsPerMicrosecond: c.SweepsPerMicrosecond,
 		ICE:                  c.ICE,
+		Faults:               c.Faults,
 		Parallelism:          c.Parallelism,
 	}
 }
@@ -160,6 +164,38 @@ func (c AnnealConfig) run(is *qubo.Ising, p annealer.Params, r *rng.Source) (*an
 	}
 	return annealer.Run(is, p, r)
 }
+
+// AnswerSource labels where an Outcome's reported answer came from — the
+// degradation ladder of the hybrid structure.
+type AnswerSource int
+
+// The answer sources, best to most degraded.
+const (
+	// AnswerQuantum: the best anneal sample won.
+	AnswerQuantum AnswerSource = iota
+	// AnswerClassicalCandidate: the classical candidate beat every anneal
+	// sample (a hybrid never returns worse than its classical half).
+	AnswerClassicalCandidate
+	// AnswerClassicalFallback: the quantum stage failed and the classical
+	// candidate was used — quality degrades, availability doesn't.
+	AnswerClassicalFallback
+)
+
+// String names the source.
+func (s AnswerSource) String() string {
+	switch s {
+	case AnswerQuantum:
+		return "quantum"
+	case AnswerClassicalCandidate:
+		return "classical-candidate"
+	case AnswerClassicalFallback:
+		return "classical-fallback"
+	}
+	return fmt.Sprintf("AnswerSource(%d)", int(s))
+}
+
+// Degraded reports whether the quantum module contributed nothing.
+func (s AnswerSource) Degraded() bool { return s == AnswerClassicalFallback }
 
 // Outcome reports one hybrid solve.
 type Outcome struct {
@@ -180,4 +216,12 @@ type Outcome struct {
 	ScheduleDuration float64
 	// BrokenChainRate carries over from embedded runs.
 	BrokenChainRate float64
+	// Source records whether the answer is quantum-refined, the classical
+	// candidate, or a classical fallback after a quantum fault.
+	Source AnswerSource
+	// Fault is the quantum-stage fault a degraded solve recovered from
+	// (nil unless Source is AnswerClassicalFallback).
+	Fault error
+	// FaultStats tallies soft faults injected into the anneal reads.
+	FaultStats annealer.FaultStats
 }

@@ -26,6 +26,11 @@ type Hybrid struct {
 	NumReads int
 	// Config bundles the simulated-device settings.
 	Config AnnealConfig
+	// FallbackOnFault degrades gracefully: when the quantum stage fails
+	// with an injected device fault, Solve answers with the classical
+	// candidate (Source = AnswerClassicalFallback) instead of erroring.
+	// Non-fault errors still propagate.
+	FallbackOnFault bool
 }
 
 // Name identifies the solver.
@@ -70,6 +75,20 @@ func (h *Hybrid) Solve(red *mimo.Reduction, r *rng.Source) (*Outcome, error) {
 	}
 	res, err := cfg.Config.run(red.Ising, cfg.Config.params(sc, init, cfg.NumReads), r.SplitString("quantum"))
 	if err != nil {
+		if fe, ok := annealer.AsFault(err); ok && h.FallbackOnFault {
+			// Graceful degradation: the device faulted, but the classical
+			// candidate is a complete answer. Availability over quality.
+			out := &Outcome{
+				InitialState:     init,
+				InitialEnergy:    red.Ising.Energy(init),
+				ScheduleDuration: sc.Duration(),
+				Best:             qubo.Sample{Spins: append([]int8(nil), init...), Energy: red.Ising.Energy(init)},
+				Source:           AnswerClassicalFallback,
+				Fault:            fe,
+			}
+			out.Symbols = red.DecodeSpins(out.Best.Spins)
+			return out, nil
+		}
 		return nil, err
 	}
 	out := &Outcome{
@@ -80,12 +99,15 @@ func (h *Hybrid) Solve(red *mimo.Reduction, r *rng.Source) (*Outcome, error) {
 		ScheduleDuration: res.ScheduleDuration,
 		BrokenChainRate:  res.BrokenChainRate,
 		Best:             res.Best,
+		Source:           AnswerQuantum,
+		FaultStats:       res.Faults,
 	}
 	// §2: the best sample is the final solution; the classical candidate
 	// also competes (a hybrid system never returns worse than its
 	// classical half).
 	if out.InitialEnergy < out.Best.Energy {
 		out.Best = qubo.Sample{Spins: append([]int8(nil), init...), Energy: out.InitialEnergy}
+		out.Source = AnswerClassicalCandidate
 	}
 	out.Symbols = red.DecodeSpins(out.Best.Spins)
 	return out, nil

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAvailabilityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("anneal-heavy")
+	}
+	cfg := tiny()
+	res, err := RunAvailability(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for i, row := range res.Rows {
+		// The fallback guarantee: every frame is answered at every rate.
+		if row.Completed != res.Frames || row.Errors != 0 {
+			t.Fatalf("row %d: %d/%d frames answered, %d errors",
+				i, row.Completed, res.Frames, row.Errors)
+		}
+		if row.QuantumRate+row.FallbackRate != 1 {
+			t.Fatalf("row %d: quantum %v + fallback %v ≠ 1", i, row.QuantumRate, row.FallbackRate)
+		}
+	}
+	healthy := res.Rows[0]
+	if healthy.Retries != 0 || healthy.Fallbacks != 0 {
+		t.Fatalf("healthy QPU recorded retries=%d fallbacks=%d", healthy.Retries, healthy.Fallbacks)
+	}
+	if healthy.DecodeRate < 0.5 {
+		t.Fatalf("healthy decode rate %v", healthy.DecodeRate)
+	}
+	worst := res.Rows[len(res.Rows)-1]
+	if worst.Retries == 0 || worst.Fallbacks == 0 {
+		t.Fatalf("75%% failure rate recorded retries=%d fallbacks=%d", worst.Retries, worst.Fallbacks)
+	}
+	if worst.QuantumRate >= 1 {
+		t.Fatal("heavy faults left the quantum share at 1")
+	}
+	var b strings.Builder
+	res.WriteTable(&b)
+	if !strings.Contains(b.String(), "Availability under QPU soft failure") {
+		t.Fatal("table render incomplete")
+	}
+}

@@ -34,9 +34,44 @@ type Frame struct {
 	// ServiceTimes[s] is stage s's modelled μs for this frame, recorded
 	// as the frame passes through.
 	ServiceTimes []float64
+	// Attempt is the current retry attempt at the executing stage (0 =
+	// first try), set by Retry so stages can derive fresh RNG streams per
+	// attempt; always reset to 0 between stages.
+	Attempt int
+	// Stats accumulates the frame's robustness accounting (retries,
+	// backoff, fallbacks) as it flows through retry-wrapped stages.
+	Stats FrameStats
 	// Err aborts downstream processing but still flows to the collector
 	// so accounting stays complete.
 	Err error
+}
+
+// FrameStats is one frame's robustness accounting.
+type FrameStats struct {
+	// Attempts counts stage attempts under retry-wrapped stages (0 when
+	// no wrapped stage ran the frame).
+	Attempts int
+	// Retries counts attempts beyond the first.
+	Retries int
+	// FaultedAttempts counts attempts that ended in a stage error.
+	FaultedAttempts int
+	// BackoffMicros is the total simulated backoff charged to the frame.
+	BackoffMicros float64
+	// FellBack reports the frame was answered by a fallback.
+	FellBack bool
+	// FallbackReason is "retries-exhausted" or "deadline" when FellBack.
+	FallbackReason string
+}
+
+// ServiceSoFar sums the service time already charged to the frame by
+// completed stages — the frame's known lower bound on consumed latency,
+// which the retry policy charges its deadline budget against.
+func (f *Frame) ServiceSoFar() float64 {
+	var sum float64
+	for _, s := range f.ServiceTimes {
+		sum += s
+	}
+	return sum
 }
 
 // Stage is one processing unit (a CPU pool or a QPU).
@@ -136,6 +171,10 @@ type FrameTiming struct {
 	Latency  float64   // completion − arrival
 	Deadline float64
 	Missed   bool
+	// Attempts and FellBack carry the frame's retry/fallback accounting
+	// into the report.
+	Attempts int
+	FellBack bool
 }
 
 // Report aggregates a pipeline run's modelled timing.
@@ -154,6 +193,14 @@ type Report struct {
 	Utilization []float64
 	// StageNames labels the columns.
 	StageNames []string
+	// Retries is the total attempts beyond the first across all frames.
+	Retries int
+	// Fallbacks is the number of frames answered by a fallback, and
+	// FallbackRate their fraction.
+	Fallbacks    int
+	FallbackRate float64
+	// BackoffMicros is the total simulated retry backoff charged.
+	BackoffMicros float64
 }
 
 // Schedule computes the modelled pipeline timing for processed frames:
@@ -217,10 +264,17 @@ func (p *Pipeline) Schedule(frames []*Frame) (*Report, error) {
 			Finish:   finish[i],
 			Latency:  finish[i][s-1] - f.Arrival,
 			Deadline: f.Deadline,
+			Attempts: f.Stats.Attempts,
+			FellBack: f.Stats.FellBack,
 		}
 		if f.Deadline > 0 && ft.Latency > f.Deadline {
 			ft.Missed = true
 			missed++
+		}
+		rep.Retries += f.Stats.Retries
+		rep.BackoffMicros += f.Stats.BackoffMicros
+		if f.Stats.FellBack {
+			rep.Fallbacks++
 		}
 		rep.Frames = append(rep.Frames, ft)
 		latencies = append(latencies, ft.Latency)
@@ -235,6 +289,7 @@ func (p *Pipeline) Schedule(frames []*Frame) (*Report, error) {
 		rep.MeanLatency = mean(latencies)
 		rep.P95Latency = percentile95(latencies)
 		rep.DeadlineMissRate = float64(missed) / float64(n)
+		rep.FallbackRate = float64(rep.Fallbacks) / float64(n)
 		if rep.Makespan > 0 {
 			for st := 0; st < s; st++ {
 				rep.Utilization[st] = busy[st] / rep.Makespan / float64(p.replicasAt(st))

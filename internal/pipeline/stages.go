@@ -17,11 +17,19 @@ type DetectionPayload struct {
 	Instance *instance.Instance
 	// InitialState is produced by the classical stage.
 	InitialState []int8
-	// Symbols and BestEnergy are produced by the quantum stage.
+	// Symbols and BestEnergy are produced by the quantum stage (or the
+	// fallback).
 	Symbols    []complex128
 	BestEnergy float64
 	// SymbolErrors compares against the transmitted truth.
 	SymbolErrors int
+	// Source records where the answer came from (quantum-refined,
+	// classical candidate, or classical fallback).
+	Source core.AnswerSource
+	// Degraded reports the quantum stage contributed nothing — the frame
+	// was answered by the classical candidate after a fault or deadline
+	// abort.
+	Degraded bool
 }
 
 // ClassicalStage runs the hybrid design's classical module on each frame
@@ -120,15 +128,61 @@ func (s *QuantumStage) Process(f *Frame) (float64, error) {
 		Sp:        sp, Tp: tp, NumReads: reads,
 		Config: s.Config,
 	}
-	out, err := h.Solve(pl.Instance.Reduction, r.Split(uint64(f.Seq)))
+	// Attempt 0 uses the exact per-frame stream an unretried stage would;
+	// re-attempts derive fresh sub-streams so a retry is not a replay of
+	// the same faulted call.
+	rr := r.Split(uint64(f.Seq))
+	if f.Attempt > 0 {
+		rr = rr.Split(uint64(f.Attempt))
+	}
+	out, err := h.Solve(pl.Instance.Reduction, rr)
 	if err != nil {
-		return 0, err
+		// A failed call still occupied the device for its programming
+		// cycle; charge that so retry accounting reflects real time lost.
+		return s.ProgrammingMicros, err
 	}
 	pl.Symbols = out.Symbols
 	pl.BestEnergy = out.Best.Energy
 	pl.SymbolErrors = mimo.SymbolErrors(out.Symbols, pl.Instance.Transmitted)
+	pl.Source = out.Source
+	pl.Degraded = out.Source.Degraded()
 	service := s.ProgrammingMicros + float64(reads)*(out.ScheduleDuration+s.ReadoutMicros)
 	return service, nil
+}
+
+// ClassicalFallback answers a frame whose quantum stage could not complete
+// with the classical candidate the classical stage already computed — the
+// availability guarantee of the hybrid structure: the GS answer is always
+// on hand, so a QPU outage degrades quality, never completeness.
+type ClassicalFallback struct {
+	// MicrosFor models the decode cost from the spin count; nil charges
+	// a linear N·1ns model (decoding a ready candidate is nearly free).
+	MicrosFor func(numSpins int) float64
+}
+
+// Name implements Fallback.
+func (c *ClassicalFallback) Name() string { return "cpu:classical-fallback" }
+
+// Recover implements Fallback.
+func (c *ClassicalFallback) Recover(f *Frame) (float64, error) {
+	pl, ok := f.Payload.(*DetectionPayload)
+	if !ok {
+		return 0, fmt.Errorf("frame payload is %T, want *DetectionPayload", f.Payload)
+	}
+	if pl.InitialState == nil {
+		return 0, fmt.Errorf("frame %d has no classical candidate to fall back to", f.Seq)
+	}
+	red := pl.Instance.Reduction
+	pl.Symbols = red.DecodeSpins(pl.InitialState)
+	pl.BestEnergy = red.Ising.Energy(pl.InitialState)
+	pl.SymbolErrors = mimo.SymbolErrors(pl.Symbols, pl.Instance.Transmitted)
+	pl.Source = core.AnswerClassicalFallback
+	pl.Degraded = true
+	n := red.NumSpins()
+	if c.MicrosFor != nil {
+		return c.MicrosFor(n), nil
+	}
+	return float64(n) * 1e-3, nil
 }
 
 // GenerateFrames turns an instance corpus into a periodic frame arrival
