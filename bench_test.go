@@ -8,12 +8,20 @@ package repro_test
 //
 // reproduces the whole evaluation at quick scale. The printed rows are
 // the deliverable; ns/op measures the cost of regenerating the figure.
+//
+// With BENCH_JSON_DIR set, each benchmark additionally writes a
+// machine-readable BENCH_<name>.json record (series, ns/op, config,
+// git revision) into that directory, so perf and series can be tracked
+// across commits without parsing benchmark output.
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 // benchConfig keeps per-iteration cost manageable while preserving every
@@ -26,6 +34,38 @@ func benchConfig() experiments.Config {
 	return cfg
 }
 
+// tabler is the common surface of every figure result.
+type tabler interface{ WriteTable(io.Writer) }
+
+// runFigureBench drives one figure benchmark: regenerate b.N times, print
+// the series once, and (when BENCH_JSON_DIR is set) record the result as
+// BENCH_<name>.json.
+func runFigureBench(b *testing.B, name string, cfg experiments.Config, run func() (tabler, error)) {
+	b.Helper()
+	var series bytes.Buffer
+	for i := 0; i < b.N; i++ {
+		res, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			res.WriteTable(io.MultiWriter(os.Stdout, &series))
+		}
+	}
+	if dir := os.Getenv(telemetry.BenchJSONDirEnv); dir != "" {
+		rec := telemetry.BenchRecord{
+			Name:       name,
+			NsPerOp:    float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+			Iterations: b.N,
+			Config:     cfg,
+			Series:     series.String(),
+		}
+		if err := telemetry.WriteBenchJSON(dir, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFigure3 regenerates §3.1's QUBO-simplification study: the
 // fraction of simplified instances and mean fixed variables per problem
 // size and modulation. Expected shape: ratios near 1 below ~16 variables
@@ -33,15 +73,7 @@ func benchConfig() experiments.Config {
 func BenchmarkFigure3(b *testing.B) {
 	cfg := benchConfig()
 	cfg.Instances = 15
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure3(cfg, 48)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			res.WriteTable(os.Stdout)
-		}
-	}
+	runFigureBench(b, "Figure3", cfg, func() (tabler, error) { return experiments.Figure3(cfg, 48) })
 }
 
 // BenchmarkFigure4 regenerates the §3.1 soft-information constraint
@@ -49,15 +81,7 @@ func BenchmarkFigure3(b *testing.B) {
 // displaces it.
 func BenchmarkFigure4(b *testing.B) {
 	cfg := benchConfig()
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure4(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			res.WriteTable(os.Stdout)
-		}
-	}
+	runFigureBench(b, "Figure4", cfg, func() (tabler, error) { return experiments.Figure4(cfg) })
 }
 
 // BenchmarkFigure6 regenerates §4.3's sample-quality distributions on
@@ -66,15 +90,7 @@ func BenchmarkFigure4(b *testing.B) {
 // is the worst of the three.
 func BenchmarkFigure6(b *testing.B) {
 	cfg := benchConfig()
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure6(cfg, 36)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			res.WriteTable(os.Stdout)
-		}
-	}
+	runFigureBench(b, "Figure6", cfg, func() (tabler, error) { return experiments.Figure6(cfg, 36) })
 }
 
 // BenchmarkFigure7 regenerates the initial-state quality study on the
@@ -83,15 +99,7 @@ func BenchmarkFigure6(b *testing.B) {
 // initial state worsens.
 func BenchmarkFigure7(b *testing.B) {
 	cfg := benchConfig()
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure7(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			res.WriteTable(os.Stdout)
-		}
-	}
+	runFigureBench(b, "Figure7", cfg, func() (tabler, error) { return experiments.Figure7(cfg) })
 }
 
 // BenchmarkFigure8 regenerates the s_p sweep on the 8-user 16-QAM
@@ -101,15 +109,7 @@ func BenchmarkFigure7(b *testing.B) {
 // best TTS beats FA's.
 func BenchmarkFigure8(b *testing.B) {
 	cfg := benchConfig()
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure8(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			res.WriteTable(os.Stdout)
-		}
-	}
+	runFigureBench(b, "Figure8", cfg, func() (tabler, error) { return experiments.Figure8(cfg) })
 }
 
 // BenchmarkHeadlineSpeedup regenerates the abstract's claim: RA from a
@@ -118,15 +118,7 @@ func BenchmarkFigure8(b *testing.B) {
 // s_p, across instances.
 func BenchmarkHeadlineSpeedup(b *testing.B) {
 	cfg := benchConfig()
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.Headline(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			res.WriteTable(os.Stdout)
-		}
-	}
+	runFigureBench(b, "HeadlineSpeedup", cfg, func() (tabler, error) { return experiments.Headline(cfg) })
 }
 
 // BenchmarkPipeline regenerates Figure 2's pipelining argument: staged
@@ -135,15 +127,7 @@ func BenchmarkHeadlineSpeedup(b *testing.B) {
 // balanced stages) with every frame decoded.
 func BenchmarkPipeline(b *testing.B) {
 	cfg := benchConfig()
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.PipelineFigure(cfg, 8)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			res.WriteTable(os.Stdout)
-		}
-	}
+	runFigureBench(b, "Pipeline", cfg, func() (tabler, error) { return experiments.PipelineFigure(cfg, 8) })
 }
 
 // BenchmarkAblationModules regenerates the §5 classical-module study:
@@ -152,15 +136,7 @@ func BenchmarkPipeline(b *testing.B) {
 // better ΔE_IS% than GS; random is far worse.
 func BenchmarkAblationModules(b *testing.B) {
 	cfg := benchConfig()
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunModuleAblation(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			res.WriteTable(os.Stdout)
-		}
-	}
+	runFigureBench(b, "AblationModules", cfg, func() (tabler, error) { return experiments.RunModuleAblation(cfg) })
 }
 
 // BenchmarkAblationDevice regenerates the simulator design-choice study:
@@ -169,30 +145,14 @@ func BenchmarkAblationModules(b *testing.B) {
 // configuration both retains and repairs.
 func BenchmarkAblationDevice(b *testing.B) {
 	cfg := benchConfig()
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunDeviceAblation(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			res.WriteTable(os.Stdout)
-		}
-	}
+	runFigureBench(b, "AblationDevice", cfg, func() (tabler, error) { return experiments.RunDeviceAblation(cfg) })
 }
 
 // BenchmarkAblationGreedyOrder regenerates the §4.1 prose-ambiguity
 // study: ascending vs descending greedy bit ordering.
 func BenchmarkAblationGreedyOrder(b *testing.B) {
 	cfg := benchConfig()
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunGreedyOrderAblation(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			res.WriteTable(os.Stdout)
-		}
-	}
+	runFigureBench(b, "AblationGreedyOrder", cfg, func() (tabler, error) { return experiments.RunGreedyOrderAblation(cfg) })
 }
 
 // BenchmarkBER regenerates the extension experiment behind the paper's
@@ -201,15 +161,7 @@ func BenchmarkAblationGreedyOrder(b *testing.B) {
 // ZF ≫ MMSE > K-best ≈ hybrid ≈ SD, all falling with SNR.
 func BenchmarkBER(b *testing.B) {
 	cfg := benchConfig()
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunBER(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			res.WriteTable(os.Stdout)
-		}
-	}
+	runFigureBench(b, "BER", cfg, func() (tabler, error) { return experiments.RunBER(cfg) })
 }
 
 // BenchmarkHardness regenerates the channel-conditioning study: detector
@@ -217,15 +169,7 @@ func BenchmarkBER(b *testing.B) {
 // shape: FA and hybrid p★ fall monotonically as κ grows.
 func BenchmarkHardness(b *testing.B) {
 	cfg := benchConfig()
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunHardness(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			res.WriteTable(os.Stdout)
-		}
-	}
+	runFigureBench(b, "Hardness", cfg, func() (tabler, error) { return experiments.RunHardness(cfg) })
 }
 
 // BenchmarkQAOA regenerates the gate-model extension study: exact QAOA
@@ -233,15 +177,7 @@ func BenchmarkHardness(b *testing.B) {
 // instances — §2's two NISQ approaches side by side.
 func BenchmarkQAOA(b *testing.B) {
 	cfg := benchConfig()
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunQAOA(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			res.WriteTable(os.Stdout)
-		}
-	}
+	runFigureBench(b, "QAOA", cfg, func() (tabler, error) { return experiments.RunQAOA(cfg) })
 }
 
 // BenchmarkCapacity regenerates the Challenge-3 capacity-planning study:
@@ -250,13 +186,5 @@ func BenchmarkQAOA(b *testing.B) {
 // and vanish once pool service capacity exceeds the arrival rate.
 func BenchmarkCapacity(b *testing.B) {
 	cfg := benchConfig()
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunCapacity(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			res.WriteTable(os.Stdout)
-		}
-	}
+	runFigureBench(b, "Capacity", cfg, func() (tabler, error) { return experiments.RunCapacity(cfg) })
 }

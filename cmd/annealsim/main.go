@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"repro/internal/annealer"
+	"repro/internal/cli"
 	"repro/internal/instance"
 	"repro/internal/metrics"
 	"repro/internal/qubo"
@@ -26,6 +27,9 @@ import (
 )
 
 func main() {
+	log := cli.New("annealsim")
+	log.RegisterVerbosity()
+	tel := cli.RegisterTelemetry()
 	var (
 		spins    = flag.Int("spins", 24, "random spin-glass size (ignored with -instance)")
 		instPath = flag.String("instance", "", "JSON instance file (from the instance package)")
@@ -45,12 +49,16 @@ func main() {
 		faultTimeout = flag.Float64("fault-timeout", 0, "per-read timeout probability")
 		faultStorm   = flag.Float64("fault-storm", 0, "per-read chain-break-storm probability")
 		faultDrift   = flag.Float64("fault-drift", 0, "per-read calibration-drift probability")
+		probe        = flag.Bool("probe", false, "record sweep-level engine observations into -trace-out/-metrics-out")
 	)
 	flag.Parse()
+	if err := tel.Start("annealsim", log); err != nil {
+		log.Fatalf("%v", err)
+	}
 
 	is, ground, err := loadProblem(*instPath, *spins, *seed)
 	if err != nil {
-		fatalf("%v", err)
+		log.Fatalf("%v", err)
 	}
 	fmt.Printf("problem: %d spins, %d couplings, ground energy %.6g\n", is.N, is.NumEdges(), ground)
 
@@ -66,7 +74,7 @@ func main() {
 		err = fmt.Errorf("unknown schedule %q (fa|ra|fr)", *schedule)
 	}
 	if err != nil {
-		fatalf("%v", err)
+		log.Fatalf("%v", err)
 	}
 	fmt.Printf("schedule: %s, duration %.2f μs, points %v\n", sc.Kind, sc.Duration(), sc.Points)
 	if *plot {
@@ -87,7 +95,7 @@ func main() {
 	case "pimc":
 		params.Engine = annealer.PIMC{}
 	default:
-		fatalf("unknown engine %q (svmc|svmc-tf|pimc)", *engine)
+		log.Fatalf("unknown engine %q (svmc|svmc-tf|pimc)", *engine)
 	}
 	if *ice {
 		params.ICE = annealer.DWave2000QICE()
@@ -97,6 +105,11 @@ func main() {
 		ReadTimeoutRate:        *faultTimeout,
 		ChainBreakStormRate:    *faultStorm,
 		CalibrationDriftRate:   *faultDrift,
+	}
+	params.Trace = tel.Tracer
+	params.Metrics = tel.Registry
+	if *probe {
+		params.Probe = &annealer.MetricsProbe{Trace: tel.Tracer, Metrics: tel.Registry, Engine: *engine}
 	}
 	if sc.StartsClassical() {
 		// Initialize RA with the greedy candidate, as the hybrid does.
@@ -113,9 +126,9 @@ func main() {
 	}
 	if err != nil {
 		if fe, ok := annealer.AsFault(err); ok {
-			fatalf("run lost to injected fault: %s (retry or fall back to a classical answer)", fe.Kind)
+			log.Fatalf("run lost to injected fault: %s (retry or fall back to a classical answer)", fe.Kind)
 		}
-		fatalf("run: %v", err)
+		log.Fatalf("run: %v", err)
 	}
 	if params.Faults.Enabled() {
 		fmt.Printf("injected faults: %d read timeouts, %d chain-break storms, %d calibration drifts (%d/%d reads survived)\n",
@@ -140,6 +153,9 @@ func main() {
 	}
 	if *embed {
 		fmt.Printf("broken-chain rate: %.4f\n", res.BrokenChainRate)
+	}
+	if err := tel.Flush(log); err != nil {
+		log.Fatalf("telemetry: %v", err)
 	}
 }
 
@@ -176,9 +192,4 @@ func loadProblem(path string, spins int, seed uint64) (*qubo.Ising, float64, err
 		ground = qubo.MultiStartGroundEstimate(is, r, 8).Energy
 	}
 	return is, ground, nil
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "annealsim: "+format+"\n", args...)
-	os.Exit(1)
 }

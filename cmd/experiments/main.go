@@ -5,61 +5,81 @@
 //	experiments -fig all                # every figure at quick scale
 //	experiments -fig 8 -scale full      # Figure 8 at paper scale
 //	experiments -fig headline -out dir  # write series files into dir
+//	experiments -fig 8 -bench-json out  # also write BENCH_figure8.json
 //
 // Output is the same rows the paper plots (see DESIGN.md's
 // per-experiment index); -out writes one text file per figure,
-// otherwise everything prints to stdout.
+// otherwise everything prints to stdout. -bench-json additionally
+// records each figure's wall time, configuration, and rendered series
+// as a machine-readable BENCH_*.json file.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
+	log := cli.New("experiments")
+	log.RegisterVerbosity()
+	tel := cli.RegisterTelemetry()
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate: 2|3|4|6|7|8|headline|ablation-*|ber|hardness|qaoa|capacity|availability|all")
-		scale = flag.String("scale", "quick", "effort: quick|full")
-		out   = flag.String("out", "", "directory for per-figure output files (default stdout)")
-		seed  = flag.Uint64("seed", 0, "override experiment seed (0 = default)")
+		fig       = flag.String("fig", "all", "figure to regenerate: 2|3|4|6|7|8|headline|ablation-*|ber|hardness|qaoa|capacity|availability|all")
+		scale     = flag.String("scale", "quick", "effort: quick|full")
+		out       = flag.String("out", "", "directory for per-figure output files (default stdout)")
+		seed      = flag.Uint64("seed", 0, "override experiment seed (0 = default)")
+		benchJSON = flag.String("bench-json", "", "directory for machine-readable BENCH_*.json records")
 	)
 	flag.Parse()
+	if err := tel.Start("experiments", log); err != nil {
+		log.Fatalf("%v", err)
+	}
 
 	cfg := experiments.Quick()
 	if *scale == "full" {
 		cfg = experiments.Full()
 	} else if *scale != "quick" {
-		fatalf("unknown -scale %q (quick|full)", *scale)
+		log.Fatalf("unknown -scale %q (quick|full)", *scale)
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Trace = tel.Tracer
+	cfg.Metrics = tel.Registry
 
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {
 		figs = []string{"2", "3", "4", "6", "7", "8", "headline", "ablation-modules", "ablation-device", "ablation-gsorder", "ber", "hardness", "qaoa", "capacity", "availability"}
 	}
 	for _, f := range figs {
-		if err := runFigure(strings.TrimSpace(f), cfg, *out); err != nil {
-			fatalf("figure %s: %v", f, err)
+		if err := runFigure(strings.TrimSpace(f), cfg, *out, *benchJSON, log); err != nil {
+			log.Fatalf("figure %s: %v", f, err)
 		}
+	}
+	if err := tel.Flush(log); err != nil {
+		log.Fatalf("telemetry: %v", err)
 	}
 }
 
 // tabler is the common surface of every figure result.
 type tabler interface{ WriteTable(io.Writer) }
 
-func runFigure(fig string, cfg experiments.Config, outDir string) error {
+func runFigure(fig string, cfg experiments.Config, outDir, benchDir string, log *cli.Logger) error {
 	var (
 		res tabler
 		err error
 	)
+	start := time.Now()
 	switch fig {
 	case "2", "pipeline":
 		res, err = experiments.PipelineFigure(cfg, 0)
@@ -97,6 +117,13 @@ func runFigure(fig string, cfg experiments.Config, outDir string) error {
 	if err != nil {
 		return err
 	}
+	elapsed := time.Since(start)
+	log.Debugf("figure %s regenerated in %v", fig, elapsed)
+
+	// Render once; tee to stdout/file and optionally into the bench record.
+	var table bytes.Buffer
+	res.WriteTable(&table)
+	fmt.Fprintln(&table)
 	w := io.Writer(os.Stdout)
 	if outDir != "" {
 		if err := os.MkdirAll(outDir, 0o755); err != nil {
@@ -109,12 +136,21 @@ func runFigure(fig string, cfg experiments.Config, outDir string) error {
 		defer f.Close()
 		w = f
 	}
-	res.WriteTable(w)
-	fmt.Fprintln(w)
+	if _, err := w.Write(table.Bytes()); err != nil {
+		return err
+	}
+	if benchDir != "" {
+		rec := telemetry.BenchRecord{
+			Name:       "figure" + fig,
+			NsPerOp:    float64(elapsed.Nanoseconds()),
+			Iterations: 1,
+			Config:     cfg,
+			Series:     table.String(),
+		}
+		if err := telemetry.WriteBenchJSON(benchDir, rec); err != nil {
+			return err
+		}
+		log.Infof("wrote bench record for figure %s to %s", fig, benchDir)
+	}
 	return nil
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -16,11 +16,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strings"
 
 	"repro/internal/annealer"
 	"repro/internal/channel"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/instance"
 	"repro/internal/metrics"
@@ -31,6 +31,9 @@ import (
 )
 
 func main() {
+	log := cli.New("hybridmimo")
+	log.RegisterQuiet() // -v already means per-sample details here
+	tel := cli.RegisterTelemetry()
 	var (
 		users   = flag.Int("users", 8, "number of users / transmit antennas")
 		mod     = flag.String("mod", "16qam", "modulation: bpsk|qpsk|16qam|64qam")
@@ -48,12 +51,19 @@ func main() {
 		faultStorm   = flag.Float64("fault-storm", 0, "per-read chain-break-storm probability")
 		faultDrift   = flag.Float64("fault-drift", 0, "per-read calibration-drift probability")
 		fallback     = flag.Bool("fallback", false, "answer with the classical candidate when the quantum stage faults (gs+ra/zf+ra/random+ra)")
+		probe        = flag.Bool("probe", false, "record sweep-level engine observations into -trace-out/-metrics-out")
+		progMicros   = flag.Float64("prog-us", 10_000, "programming overhead μs used to lay out trace spans (telemetry only)")
+		readoutUs    = flag.Float64("readout-us", 123, "per-read readout μs used to lay out trace spans (telemetry only)")
 	)
 	flag.Parse()
+	log.SetVerbose(*verbose)
+	if err := tel.Start("hybridmimo", log); err != nil {
+		log.Fatalf("%v", err)
+	}
 
 	scheme, err := modulation.ParseScheme(*mod)
 	if err != nil {
-		fatalf("%v", err)
+		log.Fatalf("%v", err)
 	}
 	n0 := 0.0
 	if *snr >= 0 {
@@ -64,7 +74,7 @@ func main() {
 		NoiseVariance: n0, Seed: *seed,
 	})
 	if err != nil {
-		fatalf("synthesize: %v", err)
+		log.Fatalf("synthesize: %v", err)
 	}
 	fmt.Printf("instance: %d-user %s, %d QUBO variables, seed %d\n",
 		*users, scheme, inst.Reduction.NumSpins(), *seed)
@@ -82,23 +92,34 @@ func main() {
 		ChainBreakStormRate:    *faultStorm,
 		CalibrationDriftRate:   *faultDrift,
 	}
+	cfg.Trace = tel.Tracer
+	cfg.Metrics = tel.Registry
+	if *probe {
+		cfg.Probe = &annealer.MetricsProbe{Trace: tel.Tracer, Metrics: tel.Registry, Engine: "svmc"}
+	}
+	if *progMicros > 0 || *readoutUs > 0 {
+		cfg.Timing = &annealer.DeviceTiming{ProgrammingMicros: *progMicros, ReadoutMicros: *readoutUs}
+	}
 	r := rng.New(*seed ^ 0xABCDEF)
 
 	if *sweep {
 		best, init, err := core.OptimizeSp(inst.Reduction, nil, inst.GroundEnergy, *reads, cfg, r)
 		if err != nil {
-			fatalf("sweep: %v", err)
+			log.Fatalf("sweep: %v", err)
 		}
 		d := metrics.DeltaEForIsing(inst.Reduction.Ising, inst.Reduction.Ising.Energy(init), inst.GroundEnergy)
 		fmt.Printf("greedy candidate ΔE_IS%%: %.3f\n", d)
 		fmt.Printf("best s_p = %.2f: p★ = %.4f, TTS(99%%) = %.2f μs (schedule %.2f μs)\n",
 			best.Sp, best.PStar, best.TTS, best.Duration)
+		if err := tel.Flush(log); err != nil {
+			log.Fatalf("telemetry: %v", err)
+		}
 		return
 	}
 
 	symbols, info, err := solve(*solver, inst, cfg, *reads, *sp, *fallback, r)
 	if err != nil {
-		fatalf("%v", err)
+		log.Fatalf("%v", err)
 	}
 	errs := mimo.SymbolErrors(symbols, inst.Transmitted)
 	bits := mimo.BitErrors(scheme, symbols, inst.Transmitted)
@@ -115,6 +136,9 @@ func main() {
 			fmt.Printf("  user %2d: detected %7.4f%+7.4fi  transmitted %7.4f%+7.4fi\n",
 				i, real(x), imag(x), real(inst.Transmitted[i]), imag(inst.Transmitted[i]))
 		}
+	}
+	if err := tel.Flush(log); err != nil {
+		log.Fatalf("telemetry: %v", err)
 	}
 }
 
@@ -208,9 +232,4 @@ func detectorByName(name string) (mimo.Detector, error) {
 		return mimo.FCSD{FullExpansion: 2}, nil
 	}
 	return nil, fmt.Errorf("unknown detector %q", name)
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "hybridmimo: "+format+"\n", args...)
-	os.Exit(1)
 }

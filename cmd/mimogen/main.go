@@ -16,13 +16,18 @@ import (
 	"path/filepath"
 
 	"repro/internal/channel"
+	"repro/internal/cli"
 	"repro/internal/instance"
 	"repro/internal/metrics"
 	"repro/internal/modulation"
 	"repro/internal/qubo"
+	"repro/internal/telemetry"
 )
 
 func main() {
+	log := cli.New("mimogen")
+	log.RegisterVerbosity()
+	tel := cli.RegisterTelemetry()
 	var (
 		users   = flag.Int("users", 8, "number of users / transmit antennas")
 		ants    = flag.Int("antennas", 0, "receive antennas (0 = users)")
@@ -36,10 +41,13 @@ func main() {
 		summary = flag.Bool("summary", true, "print per-instance summary")
 	)
 	flag.Parse()
+	if err := tel.Start("mimogen", log); err != nil {
+		log.Fatalf("%v", err)
+	}
 
 	scheme, err := modulation.ParseScheme(*mod)
 	if err != nil {
-		fatalf("%v", err)
+		log.Fatalf("%v", err)
 	}
 	var model channel.Model
 	switch *chName {
@@ -48,7 +56,7 @@ func main() {
 	case "rayleigh":
 		model = channel.Rayleigh
 	default:
-		fatalf("unknown channel %q (unitgain|rayleigh)", *chName)
+		log.Fatalf("unknown channel %q (unitgain|rayleigh)", *chName)
 	}
 	n0 := 0.0
 	if *snr >= 0 {
@@ -60,33 +68,37 @@ func main() {
 	}
 	insts, err := instance.Corpus(spec, *seed, *count)
 	if err != nil {
-		fatalf("synthesize: %v", err)
+		log.Fatalf("synthesize: %v", err)
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatalf("%v", err)
+		log.Fatalf("%v", err)
 	}
 	for i, in := range insts {
 		data, err := json.MarshalIndent(in, "", " ")
 		if err != nil {
-			fatalf("marshal: %v", err)
+			log.Fatalf("marshal: %v", err)
 		}
 		name := fmt.Sprintf("%s_%du_%02d.json", *mod, *users, i)
 		path := filepath.Join(*out, name)
 		if err := os.WriteFile(path, data, 0o644); err != nil {
-			fatalf("write %s: %v", path, err)
+			log.Fatalf("write %s: %v", path, err)
+		}
+		gs := qubo.GreedySearchIsing(in.Reduction.Ising, qubo.OrderDescending)
+		d := metrics.DeltaEForIsing(in.Reduction.Ising, in.Reduction.Ising.Energy(gs), in.GroundEnergy)
+		kappa, _ := in.Problem.H.ConditionNumber()
+		if tel.Registry != nil {
+			lbl := telemetry.Label{Key: "mod", Value: *mod}
+			tel.Registry.Counter("mimogen_instances_total", lbl).Inc()
+			tel.Registry.Histogram("mimogen_condition_number", 0, 50, 25, lbl).Observe(kappa)
+			tel.Registry.Histogram("mimogen_greedy_delta_e_pct", 0, 100, 20, lbl).Observe(d)
 		}
 		if *summary {
-			gs := qubo.GreedySearchIsing(in.Reduction.Ising, qubo.OrderDescending)
-			d := metrics.DeltaEForIsing(in.Reduction.Ising, in.Reduction.Ising.Energy(gs), in.GroundEnergy)
-			kappa, _ := in.Problem.H.ConditionNumber()
 			fmt.Printf("%-24s %2d spins  κ=%7.2f  GS ΔE_IS%%=%6.2f\n",
 				name, in.Reduction.NumSpins(), kappa, d)
 		}
 	}
 	fmt.Printf("wrote %d instances to %s/\n", len(insts), *out)
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "mimogen: "+format+"\n", args...)
-	os.Exit(1)
+	if err := tel.Flush(log); err != nil {
+		log.Fatalf("telemetry: %v", err)
+	}
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/chimera"
 	"repro/internal/qubo"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 )
 
 // MaxReads bounds NumReads so per-read RNG stream derivation (uint64 read
@@ -49,6 +50,25 @@ type Params struct {
 	// sequential). Each read derives its own RNG stream from its index,
 	// so results are bit-identical at any parallelism level.
 	Parallelism int
+
+	// Telemetry hooks — all optional and nil-safe. None of them touches
+	// the RNG or the dynamics: a traced run's samples are bit-identical
+	// to an untraced run's, and with every hook nil the hot path pays
+	// nothing beyond a per-sweep nil check.
+
+	// Trace receives per-read device spans (programming → anneal →
+	// readout on the simulated-μs clock) and hard-fault events.
+	Trace *telemetry.Tracer
+	// Metrics receives batch counters: reads issued/survived, total
+	// anneal μs, and faults by kind.
+	Metrics *telemetry.Registry
+	// Probe receives per-sweep engine observations (replica energies,
+	// acceptance rates, s(t)) when the engine implements ProbedEngine.
+	Probe Probe
+	// Timing lays the trace spans out with device overheads (programming,
+	// readout μs). Results never depend on it. QPU.Run fills it from its
+	// own ProgrammingTime/ReadoutTime when unset.
+	Timing *DeviceTiming
 }
 
 func (p Params) withDefaults() (Params, error) {
@@ -161,6 +181,7 @@ func Run(is *qubo.Ising, p Params, r *rng.Source) (*Result, error) {
 	// Batch-level fault: the device rejects the programming cycle. Drawn
 	// from a dedicated split so the per-read streams below are untouched.
 	if p.Faults.programmingFails(r.SplitString("fault/programming")) {
+		p.emitHardFault(FaultProgramming)
 		return nil, &FaultError{Kind: FaultProgramming}
 	}
 	norm, _ := is.Normalized()
@@ -176,7 +197,7 @@ func Run(is *qubo.Ising, p Params, r *rng.Source) (*Result, error) {
 		}
 		prog := p.ICE.Perturb(norm, rr)
 		prog, faults[read].drift = p.Faults.drift(prog, fr)
-		spins := p.Engine.Anneal(prog, p.Schedule, *p.Profile, p.InitialState, p.SweepsPerMicrosecond, rr)
+		spins := p.anneal(prog, read, rr)
 		if !p.NoQuench {
 			spins = qubo.SteepestDescent(prog, spins).Spins
 		}
@@ -185,11 +206,23 @@ func Run(is *qubo.Ising, p Params, r *rng.Source) (*Result, error) {
 	})
 	res.Samples, res.Faults = compactReads(samples, faults)
 	res.TotalAnnealTime = float64(p.NumReads) * res.ScheduleDuration
+	p.emitBatchTelemetry(res, faults)
 	if len(res.Samples) == 0 {
+		p.emitHardFault(FaultAllReadsLost)
 		return nil, &FaultError{Kind: FaultAllReadsLost}
 	}
 	res.Best = bestSample(res.Samples)
 	return res, nil
+}
+
+// anneal evolves one read, dispatching through ProbedEngine when a probe
+// is wired (the probe sees the read's index; the dynamics are identical
+// either way).
+func (p Params) anneal(prog *qubo.Ising, read int, rr *rng.Source) []int8 {
+	if pe, ok := p.Engine.(ProbedEngine); ok && p.Probe != nil {
+		return pe.AnnealProbed(prog, p.Schedule, *p.Profile, p.InitialState, p.SweepsPerMicrosecond, rr, readProbe{p.Probe, read})
+	}
+	return p.Engine.Anneal(prog, p.Schedule, *p.Profile, p.InitialState, p.SweepsPerMicrosecond, rr)
 }
 
 // parallelFor runs body(0..n-1), optionally across a worker pool. Callers
@@ -303,7 +336,13 @@ func (q *QPU) Run(logical *qubo.Ising, p Params, r *rng.Source) (*Result, error)
 		}
 		p.InitialState = emb.EmbedSpins(p.InitialState)
 	}
+	// The QPU knows its own overheads; fill the span-layout timing model
+	// unless the caller pinned one (telemetry only — results unaffected).
+	if p.Timing == nil {
+		p.Timing = &DeviceTiming{ProgrammingMicros: q.ProgrammingTime, ReadoutMicros: q.ReadoutTime}
+	}
 	if p.Faults.programmingFails(r.SplitString("fault/programming")) {
+		p.emitHardFault(FaultProgramming)
 		return nil, &FaultError{Kind: FaultProgramming}
 	}
 	normPhys, _ := phys.Normalized()
@@ -323,7 +362,7 @@ func (q *QPU) Run(logical *qubo.Ising, p Params, r *rng.Source) (*Result, error)
 		}
 		prog := p.ICE.Perturb(normPhys, rr)
 		prog, faults[read].drift = p.Faults.drift(prog, fr)
-		physSpins := p.Engine.Anneal(prog, p.Schedule, *p.Profile, p.InitialState, p.SweepsPerMicrosecond, rr)
+		physSpins := p.anneal(prog, read, rr)
 		_, broken[read] = emb.Unembed(physSpins)
 		if !p.NoQuench {
 			physSpins = qubo.SteepestDescent(prog, physSpins).Spins
@@ -334,7 +373,9 @@ func (q *QPU) Run(logical *qubo.Ising, p Params, r *rng.Source) (*Result, error)
 	})
 	res.Samples, res.Faults = compactReads(samples, faults)
 	res.TotalAnnealTime = float64(p.NumReads) * res.ScheduleDuration
+	p.emitBatchTelemetry(res, faults)
 	if len(res.Samples) == 0 {
+		p.emitHardFault(FaultAllReadsLost)
 		return nil, &FaultError{Kind: FaultAllReadsLost}
 	}
 	totalBroken := 0
@@ -344,6 +385,9 @@ func (q *QPU) Run(logical *qubo.Ising, p Params, r *rng.Source) (*Result, error)
 		}
 	}
 	res.BrokenChainRate = float64(totalBroken) / float64(len(res.Samples)*logical.N)
+	if p.Metrics != nil {
+		p.Metrics.Gauge("annealer_broken_chain_rate").Set(res.BrokenChainRate)
+	}
 	res.Best = bestSample(res.Samples)
 	return res, nil
 }

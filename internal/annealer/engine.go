@@ -27,6 +27,16 @@ type Engine interface {
 	Anneal(is *qubo.Ising, sc *Schedule, prof Profile, init []int8, sweepsPerMicrosecond float64, r *rng.Source) []int8
 }
 
+// ProbedEngine is implemented by engines that can report per-sweep
+// observations to a Probe. Run dispatches through it when Params.Probe is
+// set; plain Engines still work, just unobserved. AnnealProbed with a nil
+// probe must be exactly Anneal — probing may never perturb the dynamics
+// (the probe sees state, it does not touch the RNG).
+type ProbedEngine interface {
+	Engine
+	AnnealProbed(is *qubo.Ising, sc *Schedule, prof Profile, init []int8, sweepsPerMicrosecond float64, r *rng.Source, probe Probe) []int8
+}
+
 // sweepCount converts a schedule duration to an integer sweep count
 // (at least 1 per schedule point segment).
 func sweepCount(sc *Schedule, sweepsPerMicrosecond float64) (int, error) {

@@ -72,6 +72,13 @@ func (e PIMC) temporalCoupling(beta, a float64, p int) float64 {
 
 // Anneal implements Engine.
 func (e PIMC) Anneal(is *qubo.Ising, sc *Schedule, prof Profile, init []int8, sweepsPerMicrosecond float64, r *rng.Source) []int8 {
+	return e.AnnealProbed(is, sc, prof, init, sweepsPerMicrosecond, r, nil)
+}
+
+// AnnealProbed implements ProbedEngine: identical dynamics, with one
+// nil-checked observation per sweep (per-replica problem energies, s(t),
+// acceptance counts) when probe is non-nil.
+func (e PIMC) AnnealProbed(is *qubo.Ising, sc *Schedule, prof Profile, init []int8, sweepsPerMicrosecond float64, r *rng.Source, probe Probe) []int8 {
 	n := is.N
 	p := e.slices()
 	sweeps, err := sweepCount(sc, sweepsPerMicrosecond)
@@ -114,6 +121,7 @@ func (e PIMC) Anneal(is *qubo.Ising, sc *Schedule, prof Profile, init []int8, sw
 		s := sc.At(t)
 		spatial := beta * prof.B(s) / (2 * float64(p))
 		temporal := e.temporalCoupling(beta, prof.A(s), p)
+		accepted := 0
 		for k := 0; k < p; k++ {
 			prev := replica[(k+p-1)%p]
 			next := replica[(k+1)%p]
@@ -127,12 +135,26 @@ func (e PIMC) Anneal(is *qubo.Ising, sc *Schedule, prof Profile, init []int8, sw
 				// temporal bonds change by +2·K·s·(s_prev + s_next).
 				dS := spatial*(-2*si*f[i]) + 2*temporal*si*float64(prev[i]+next[i])
 				if dS <= 0 || r.Float64() < math.Exp(-dS) {
+					accepted++
 					cur[i] = -cur[i]
 					for _, c := range is.Adj[i] {
 						f[c.To] += 2 * c.J * float64(cur[i])
 					}
 				}
 			}
+		}
+		if probe != nil {
+			energies := make([]float64, p)
+			var mean float64
+			for k := range replica {
+				energies[k] = is.Energy(replica[k])
+				mean += energies[k]
+			}
+			probe.ObserveSweep(SweepObservation{
+				Sweep: sweep, TotalSweeps: sweeps, TimeMicros: t, S: s,
+				Energy: mean / float64(p), ReplicaEnergies: energies,
+				Accepted: accepted, Proposed: p * n,
+			})
 		}
 	}
 

@@ -66,6 +66,13 @@ func moveScale(a, b, floor float64) float64 {
 
 // Anneal implements Engine.
 func (e SVMC) Anneal(is *qubo.Ising, sc *Schedule, prof Profile, init []int8, sweepsPerMicrosecond float64, r *rng.Source) []int8 {
+	return e.AnnealProbed(is, sc, prof, init, sweepsPerMicrosecond, r, nil)
+}
+
+// AnnealProbed implements ProbedEngine: identical dynamics, with one
+// nil-checked observation per sweep (projected-state energy, s(t),
+// acceptance counts) when probe is non-nil.
+func (e SVMC) AnnealProbed(is *qubo.Ising, sc *Schedule, prof Profile, init []int8, sweepsPerMicrosecond float64, r *rng.Source, probe Probe) []int8 {
 	n := is.N
 	sweeps, err := sweepCount(sc, sweepsPerMicrosecond)
 	if err != nil {
@@ -108,6 +115,10 @@ func (e SVMC) Anneal(is *qubo.Ising, sc *Schedule, prof Profile, init []int8, sw
 	if minScale <= 0 {
 		minScale = 0.02
 	}
+	var probeSpins []int8
+	if probe != nil {
+		probeSpins = make([]int8, n)
+	}
 	duration := sc.Duration()
 	for sweep := 0; sweep < sweeps; sweep++ {
 		t := duration * float64(sweep) / float64(sweeps-1)
@@ -118,6 +129,7 @@ func (e SVMC) Anneal(is *qubo.Ising, sc *Schedule, prof Profile, init []int8, sw
 		if e.TFMoves {
 			scale = moveScale(a, b, minScale)
 		}
+		accepted := 0
 		for k := 0; k < n; k++ {
 			i := r.Intn(n)
 			var nt float64
@@ -141,6 +153,7 @@ func (e SVMC) Anneal(is *qubo.Ising, sc *Schedule, prof Profile, init []int8, sw
 			nz := math.Cos(nt)
 			dE := -a/2*(math.Sin(nt)-math.Sin(theta[i])) + b/2*(nz-z[i])*zField[i]
 			if dE <= 0 || r.Float64() < math.Exp(-beta*dE) {
+				accepted++
 				dz := nz - z[i]
 				theta[i] = nt
 				z[i] = nz
@@ -148,6 +161,19 @@ func (e SVMC) Anneal(is *qubo.Ising, sc *Schedule, prof Profile, init []int8, sw
 					zField[c.To] += c.J * dz
 				}
 			}
+		}
+		if probe != nil {
+			for i, zi := range z {
+				if zi >= 0 {
+					probeSpins[i] = 1
+				} else {
+					probeSpins[i] = -1
+				}
+			}
+			probe.ObserveSweep(SweepObservation{
+				Sweep: sweep, TotalSweeps: sweeps, TimeMicros: t, S: s,
+				Energy: is.Energy(probeSpins), Accepted: accepted, Proposed: n,
+			})
 		}
 	}
 

@@ -18,6 +18,7 @@ import (
 	"repro/internal/mimo"
 	"repro/internal/qubo"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 )
 
 // ClassicalModule produces a candidate spin state for a reduced detection
@@ -141,6 +142,14 @@ type AnnealConfig struct {
 	// Parallelism fans anneal reads across goroutines (deterministic at
 	// any level; default sequential).
 	Parallelism int
+	// Trace, Metrics, Probe, and Timing are the telemetry hooks threaded
+	// into every anneal batch a solver issues (see annealer.Params); all
+	// nil-safe, all observation-only — traced solves are bit-identical
+	// to untraced solves.
+	Trace   *telemetry.Tracer
+	Metrics *telemetry.Registry
+	Probe   annealer.Probe
+	Timing  *annealer.DeviceTiming
 }
 
 func (c AnnealConfig) params(sc *annealer.Schedule, init []int8, reads int) annealer.Params {
@@ -154,6 +163,10 @@ func (c AnnealConfig) params(sc *annealer.Schedule, init []int8, reads int) anne
 		ICE:                  c.ICE,
 		Faults:               c.Faults,
 		Parallelism:          c.Parallelism,
+		Trace:                c.Trace,
+		Metrics:              c.Metrics,
+		Probe:                c.Probe,
+		Timing:               c.Timing,
 	}
 }
 
@@ -163,6 +176,16 @@ func (c AnnealConfig) run(is *qubo.Ising, p annealer.Params, r *rng.Source) (*an
 		return c.QPU.Run(is, p, r)
 	}
 	return annealer.Run(is, p, r)
+}
+
+// recordAnswerSource publishes where a solve's answer came from — the
+// degradation-ladder share (quantum / classical-candidate /
+// classical-fallback) the availability analyses watch.
+func (c AnnealConfig) recordAnswerSource(s AnswerSource) {
+	if c.Metrics != nil {
+		c.Metrics.Counter("core_answer_source_total",
+			telemetry.Label{Key: "source", Value: s.String()}).Inc()
+	}
 }
 
 // AnswerSource labels where an Outcome's reported answer came from — the

@@ -87,6 +87,7 @@ func (h *Hybrid) Solve(red *mimo.Reduction, r *rng.Source) (*Outcome, error) {
 				Fault:            fe,
 			}
 			out.Symbols = red.DecodeSpins(out.Best.Spins)
+			cfg.Config.recordAnswerSource(out.Source)
 			return out, nil
 		}
 		return nil, err
@@ -110,6 +111,7 @@ func (h *Hybrid) Solve(red *mimo.Reduction, r *rng.Source) (*Outcome, error) {
 		out.Source = AnswerClassicalCandidate
 	}
 	out.Symbols = red.DecodeSpins(out.Best.Spins)
+	cfg.Config.recordAnswerSource(out.Source)
 	return out, nil
 }
 

@@ -86,8 +86,9 @@ func RunAvailability(cfg Config) (*AvailabilityResult, error) {
 				MaxAttempts:   maxAttempts,
 				BackoffMicros: backoffMicros,
 				Fallback:      &pipeline.ClassicalFallback{},
+				Trace:         cfg.Trace,
 			},
-		}}
+		}, Trace: cfg.Trace, Metrics: cfg.Metrics}
 		fr := pipeline.GenerateFrames(insts, intervalMicros, deadlineMicros)
 		processed, err := p.Run(fr)
 		if err != nil {

@@ -62,7 +62,8 @@ func RunCapacity(cfg Config) (*CapacityResult, error) {
 				Rng:      rng.New(cfg.Seed ^ 4),
 			},
 		}
-		p := &pipeline.Pipeline{Stages: stages, Replicas: []int{1, qpus}}
+		p := &pipeline.Pipeline{Stages: stages, Replicas: []int{1, qpus},
+			Trace: cfg.Trace, Metrics: cfg.Metrics}
 		fr := pipeline.GenerateFramesPoisson(insts, meanArrival, deadlineMicros,
 			rng.New(cfg.Seed^0xA881)) // same arrival draw for every pool size
 		processed, err := p.Run(fr)

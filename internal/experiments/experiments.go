@@ -22,6 +22,7 @@ import (
 	"repro/internal/annealer"
 	"repro/internal/core"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 )
 
 // Config scales every harness's effort. Quick() keeps the full sweep
@@ -47,6 +48,12 @@ type Config struct {
 	// Parallelism fans anneal reads across goroutines (default
 	// runtime.NumCPU, capped at 8; deterministic at any level).
 	Parallelism int
+	// Trace and Metrics, when set, are threaded into every anneal batch
+	// and pipeline run a harness issues — one registry/trace accumulates
+	// the whole experiment. Nil-safe and observation-only (results are
+	// bit-identical either way).
+	Trace   *telemetry.Tracer
+	Metrics *telemetry.Registry
 }
 
 // Quick returns the benchmark-scale configuration.
@@ -103,6 +110,8 @@ func (c Config) annealConfig() core.AnnealConfig {
 		SweepsPerMicrosecond: c.SweepsPerMicrosecond,
 		ICE:                  c.ICE,
 		Parallelism:          c.Parallelism,
+		Trace:                c.Trace,
+		Metrics:              c.Metrics,
 	}
 }
 
@@ -118,6 +127,8 @@ func (c Config) annealParams(sc *annealer.Schedule, init []int8, reads int) anne
 		SweepsPerMicrosecond: c.SweepsPerMicrosecond,
 		ICE:                  c.ICE,
 		Parallelism:          c.Parallelism,
+		Trace:                c.Trace,
+		Metrics:              c.Metrics,
 	}
 }
 

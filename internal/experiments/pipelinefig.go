@@ -56,7 +56,7 @@ func PipelineFigure(cfg Config, frames int) (*PipelineResult, error) {
 	}
 
 	// Pipelined: both stages overlap across frames.
-	pl := &pipeline.Pipeline{Stages: build()}
+	pl := &pipeline.Pipeline{Stages: build(), Trace: cfg.Trace, Metrics: cfg.Metrics}
 	fr := pipeline.GenerateFrames(insts, 0, 0)
 	processed, err := pl.Run(fr)
 	if err != nil {

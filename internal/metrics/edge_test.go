@@ -1,0 +1,119 @@
+package metrics
+
+// Edge-case pins for the metric primitives: empty and single-element
+// inputs, NaN/±Inf values, and out-of-range Histogram.Add. These
+// behaviors are relied on by the telemetry registry (which feeds
+// arbitrary observed values into Histogram) and by harnesses that take
+// percentiles of possibly-degenerate series.
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPercentileSingleElement(t *testing.T) {
+	for _, p := range []float64{0, 37.5, 50, 100} {
+		if got := Percentile([]float64{42}, p); got != 42 {
+			t.Fatalf("p%v of a singleton = %v, want 42", p, got)
+		}
+	}
+}
+
+func TestPercentileInfinities(t *testing.T) {
+	xs := []float64{math.Inf(-1), 0, math.Inf(1)}
+	if got := Percentile(xs, 0); !math.IsInf(got, -1) {
+		t.Fatalf("p0 = %v, want -Inf", got)
+	}
+	if got := Percentile(xs, 100); !math.IsInf(got, 1) {
+		t.Fatalf("p100 = %v, want +Inf", got)
+	}
+	if got := Percentile(xs, 50); got != 0 {
+		t.Fatalf("p50 = %v, want the finite middle value", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input reordered: %v", xs)
+	}
+}
+
+func TestMeanSingleAndInf(t *testing.T) {
+	if got := Mean([]float64{7}); got != 7 {
+		t.Fatalf("singleton mean = %v", got)
+	}
+	if got := Mean([]float64{1, math.Inf(1)}); !math.IsInf(got, 1) {
+		t.Fatalf("mean with +Inf = %v", got)
+	}
+}
+
+func TestTTSSmallPstarFinite(t *testing.T) {
+	// Tiny but positive p★ must give a large finite TTS, not overflow.
+	got := TTS(1, 1e-12, 99)
+	if math.IsInf(got, 1) || math.IsNaN(got) || got <= 0 {
+		t.Fatalf("TTS(1, 1e-12, 99) = %v", got)
+	}
+	// And it must exceed the p★ = 0.5 cost by many orders of magnitude.
+	if got < TTS(1, 0.5, 99)*1e9 {
+		t.Fatalf("TTS(1e-12) = %v implausibly small", got)
+	}
+}
+
+func TestTTSNaNPstar(t *testing.T) {
+	// NaN p★ fails every threshold comparison and propagates NaN — it must
+	// not be mistaken for a valid finite time.
+	got := TTS(1, math.NaN(), 99)
+	if !math.IsNaN(got) {
+		t.Fatalf("TTS with NaN p★ = %v, want NaN", got)
+	}
+}
+
+func TestHistogramDropsNaN(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(math.NaN())
+	if h.Total != 0 {
+		t.Fatalf("NaN counted: total %d", h.Total)
+	}
+	h.Add(5)
+	h.Add(math.NaN())
+	if h.Total != 1 {
+		t.Fatalf("total %d after one finite value and two NaNs", h.Total)
+	}
+}
+
+func TestHistogramClampsInfinities(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(math.Inf(-1))
+	h.Add(math.Inf(1))
+	if h.Counts[0] != 1 {
+		t.Fatalf("-Inf not clamped to bin 0: %v", h.Counts)
+	}
+	if h.Counts[len(h.Counts)-1] != 1 {
+		t.Fatalf("+Inf not clamped to the last bin: %v", h.Counts)
+	}
+	if h.Total != 2 {
+		t.Fatalf("total %d", h.Total)
+	}
+}
+
+func TestHistogramFarOutOfRange(t *testing.T) {
+	// Values far enough outside [Min, Max) that the naive float→int index
+	// conversion would overflow must still clamp to the edge bins.
+	h := NewHistogram(0, 1, 4)
+	h.Add(1e300)
+	h.Add(-1e300)
+	if h.Counts[0] != 1 || h.Counts[3] != 1 || h.Total != 2 {
+		t.Fatalf("extreme values not clamped: counts %v total %d", h.Counts, h.Total)
+	}
+}
+
+func TestHistogramUpperBoundExclusive(t *testing.T) {
+	// Max itself is outside the half-open range and clamps to the last bin.
+	h := NewHistogram(0, 10, 5)
+	h.Add(10)
+	if h.Counts[4] != 1 {
+		t.Fatalf("x = Max landed in %v", h.Counts)
+	}
+}

@@ -166,14 +166,23 @@ func NewHistogram(min, max float64, bins int) *Histogram {
 	return &Histogram{Min: min, Max: max, Counts: make([]int, bins)}
 }
 
-// Add records a value.
+// Add records a value. NaN is dropped (it has no bin and no meaningful
+// clamp); ±Inf clamp to the edge bins like any other out-of-range value.
+// Clamping happens in float space because converting NaN/±Inf (or any
+// out-of-range float) to int is implementation-specific in Go.
 func (h *Histogram) Add(x float64) {
-	idx := int((x - h.Min) / (h.Max - h.Min) * float64(len(h.Counts)))
-	if idx < 0 {
-		idx = 0
+	if math.IsNaN(x) {
+		return
 	}
-	if idx >= len(h.Counts) {
+	pos := (x - h.Min) / (h.Max - h.Min) * float64(len(h.Counts))
+	var idx int
+	switch {
+	case pos < 0:
+		idx = 0
+	case pos >= float64(len(h.Counts)):
 		idx = len(h.Counts) - 1
+	default:
+		idx = int(pos)
 	}
 	h.Counts[idx]++
 	h.Total++

@@ -17,6 +17,8 @@ package pipeline
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // Frame is one channel use travelling through the pipeline.
@@ -93,6 +95,14 @@ type Pipeline struct {
 	// CPU pool or several QPUs — Challenge 3's "assign those units to
 	// staged processing units"); missing/zero entries mean 1.
 	Replicas []int
+	// Trace, when set, receives one "stage/<name>" span per frame per
+	// stage on the simulated clock (start/finish from the schedule
+	// recurrence) plus deadline-miss events. Nil-safe.
+	Trace *telemetry.Tracer
+	// Metrics, when set, receives run counters (frames, deadline misses,
+	// retries, fallbacks, answer sources), a latency histogram, and
+	// per-stage utilization gauges. Nil-safe.
+	Metrics *telemetry.Registry
 }
 
 // replicasAt returns stage s's server count (≥ 1).
@@ -297,7 +307,57 @@ func (p *Pipeline) Schedule(frames []*Frame) (*Report, error) {
 			rep.ThroughputPerSecond = float64(n) / rep.Makespan * 1e6
 		}
 	}
+	p.emitTelemetry(frames, rep)
 	return rep, nil
+}
+
+// emitTelemetry publishes a scheduled run's spans (per frame per stage on
+// the simulated clock) and aggregate metrics. Purely observational: the
+// report is complete before emission, and both sinks are nil-safe.
+func (p *Pipeline) emitTelemetry(frames []*Frame, rep *Report) {
+	if p.Trace == nil && p.Metrics == nil {
+		return
+	}
+	last := len(p.Stages) - 1
+	for _, ft := range rep.Frames {
+		for st := range p.Stages {
+			attrs := telemetry.Attrs{"frame": ft.Seq}
+			if ft.Attempts > 1 && st == last {
+				attrs["attempts"] = ft.Attempts
+			}
+			if ft.FellBack && st == last {
+				attrs["fellback"] = true
+			}
+			p.Trace.Span("stage/"+rep.StageNames[st], ft.Start[st], ft.Finish[st], attrs)
+		}
+		if ft.Missed {
+			p.Trace.Event("deadline-miss", ft.Finish[last], telemetry.Attrs{
+				"frame": ft.Seq, "latency_us": ft.Latency, "deadline_us": ft.Deadline,
+			})
+		}
+	}
+	if reg := p.Metrics; reg != nil {
+		missed := 0
+		for _, ft := range rep.Frames {
+			if ft.Missed {
+				missed++
+			}
+			// Latency window: 10 ms covers every paper-scale ARQ budget;
+			// beyond-window latencies clamp into the last bucket.
+			reg.Histogram("pipeline_frame_latency_micros", 0, 10_000, 50).Observe(ft.Latency)
+		}
+		reg.Counter("pipeline_frames_total").Add(float64(len(rep.Frames)))
+		reg.Counter("pipeline_deadline_misses_total").Add(float64(missed))
+		reg.Counter("pipeline_retries_total").Add(float64(rep.Retries))
+		reg.Counter("pipeline_fallbacks_total").Add(float64(rep.Fallbacks))
+		reg.Counter("pipeline_backoff_micros_total").Add(rep.BackoffMicros)
+		reg.Gauge("pipeline_throughput_fps").Set(rep.ThroughputPerSecond)
+		for st, name := range rep.StageNames {
+			reg.Gauge("pipeline_stage_utilization", telemetry.Label{Key: "stage", Value: name}).
+				Set(rep.Utilization[st])
+		}
+		RecordDetectionOutcomes(reg, frames)
+	}
 }
 
 func max2(a, b float64) float64 {

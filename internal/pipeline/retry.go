@@ -11,6 +11,8 @@ package pipeline
 
 import (
 	"fmt"
+
+	"repro/internal/telemetry"
 )
 
 // Fallback produces a degraded answer for a frame whose primary stage
@@ -47,6 +49,13 @@ type Retry struct {
 	// (The check is against service time, a lower bound on latency;
 	// queueing delay can still cause misses the policy cannot foresee.)
 	DisableDeadlineAbort bool
+	// Trace, when set, receives retry/attempt, retry/fault, retry/abort,
+	// and retry/fallback events. Event timestamps are the frame's charged
+	// SERVICE time so far (simulated μs consumed by completed stages plus
+	// this wrapper's attempts and backoff) — a service-relative clock,
+	// since absolute start times are only known to the later schedule
+	// recurrence. Nil-safe.
+	Trace *telemetry.Tracer
 }
 
 // Name implements Stage.
@@ -76,12 +85,18 @@ func (rt *Retry) Process(f *Frame) (float64, error) {
 		}
 		if !rt.DisableDeadlineAbort && f.Deadline > 0 && f.ServiceSoFar()+charged >= f.Deadline {
 			reason = "deadline"
+			rt.Trace.Event("retry/abort", f.ServiceSoFar()+charged, telemetry.Attrs{
+				"frame": f.Seq, "attempt": attempt, "deadline_us": f.Deadline,
+			})
 			break
 		}
 		f.Attempt = attempt
 		f.Stats.Attempts++
 		if attempt > 0 {
 			f.Stats.Retries++
+			rt.Trace.Event("retry/attempt", f.ServiceSoFar()+charged, telemetry.Attrs{
+				"frame": f.Seq, "attempt": attempt, "stage": rt.Stage.Name(),
+			})
 		}
 		micros, err := rt.Stage.Process(f)
 		f.Attempt = 0
@@ -91,6 +106,9 @@ func (rt *Retry) Process(f *Frame) (float64, error) {
 		}
 		lastErr = err
 		f.Stats.FaultedAttempts++
+		rt.Trace.Event("retry/fault", f.ServiceSoFar()+charged, telemetry.Attrs{
+			"frame": f.Seq, "attempt": attempt, "error": err.Error(),
+		})
 	}
 	if reason == "" {
 		reason = "retries-exhausted"
@@ -107,5 +125,8 @@ func (rt *Retry) Process(f *Frame) (float64, error) {
 	}
 	f.Stats.FellBack = true
 	f.Stats.FallbackReason = reason
+	rt.Trace.Event("retry/fallback", f.ServiceSoFar()+charged+micros, telemetry.Attrs{
+		"frame": f.Seq, "reason": reason, "fallback": rt.Fallback.Name(),
+	})
 	return charged + micros, nil
 }

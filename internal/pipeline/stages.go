@@ -9,6 +9,7 @@ import (
 	"repro/internal/instance"
 	"repro/internal/mimo"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 )
 
 // DetectionPayload is the data a channel use carries through the
@@ -198,6 +199,29 @@ func GenerateFrames(insts []*instance.Instance, intervalMicros, deadlineMicros f
 		}
 	}
 	return frames
+}
+
+// RecordDetectionOutcomes publishes each detection frame's answer source
+// (quantum / classical-candidate / classical-fallback) and fallback
+// reason to reg — the runtime fallback-share exposition that PR 1's
+// degradation ladder previously only surfaced in post-hoc tables. Frames
+// whose payload is not a DetectionPayload are skipped.
+func RecordDetectionOutcomes(reg *telemetry.Registry, frames []*Frame) {
+	if reg == nil {
+		return
+	}
+	for _, f := range frames {
+		pl, ok := f.Payload.(*DetectionPayload)
+		if !ok {
+			continue
+		}
+		reg.Counter("pipeline_answer_source_total",
+			telemetry.Label{Key: "source", Value: pl.Source.String()}).Inc()
+		if f.Stats.FellBack && f.Stats.FallbackReason != "" {
+			reg.Counter("pipeline_fallback_reason_total",
+				telemetry.Label{Key: "reason", Value: f.Stats.FallbackReason}).Inc()
+		}
+	}
 }
 
 // QuantumServiceTime exposes the stage's service model for capacity

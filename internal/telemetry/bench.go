@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// BenchRecord is one benchmark's machine-readable result: the regenerated
+// series (the deliverable), the per-iteration cost, and the configuration
+// that produced it — enough to track the perf trajectory across PRs
+// instead of eyeballing printed rows.
+type BenchRecord struct {
+	// Name identifies the benchmark/figure (e.g. "Figure8").
+	Name string `json:"name"`
+	// NsPerOp is the measured cost of one regeneration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Iterations is the benchmark's N (1 for one-shot CLI runs).
+	Iterations int `json:"iterations"`
+	// Config is the experiment configuration the series was produced
+	// under (marshals experiments.Config's exported fields).
+	Config any `json:"config,omitempty"`
+	// Series is the rendered table — the same rows the figure prints.
+	Series string `json:"series,omitempty"`
+	// GitRevision and RecordedAt locate the record in history (wall
+	// clock; provenance only).
+	GitRevision string `json:"git_revision,omitempty"`
+	RecordedAt  string `json:"recorded_at"`
+}
+
+// BenchJSONDirEnv names the environment variable that, when set, makes
+// the root-level benchmarks write BENCH_*.json records into its
+// directory.
+const BenchJSONDirEnv = "BENCH_JSON_DIR"
+
+// WriteBenchJSON writes rec as <dir>/BENCH_<Name>.json (creating dir),
+// stamping RecordedAt and the binary's git revision.
+func WriteBenchJSON(dir string, rec BenchRecord) error {
+	if rec.Name == "" {
+		return fmt.Errorf("telemetry: bench record needs a name")
+	}
+	if rec.RecordedAt == "" {
+		rec.RecordedAt = time.Now().UTC().Format(time.RFC3339)
+	}
+	if rec.GitRevision == "" {
+		rec.GitRevision = NewManifest("bench").GitRevision
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := "BENCH_" + sanitizeBenchName(rec.Name) + ".json"
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644)
+}
+
+// sanitizeBenchName keeps file names portable.
+func sanitizeBenchName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, name)
+}

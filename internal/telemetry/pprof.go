@@ -1,0 +1,26 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+)
+
+// StartPprof serves net/http/pprof on addr (e.g. "localhost:6060") in a
+// background goroutine and returns the bound address — pass ":0" for an
+// ephemeral port. The listener lives for the process lifetime; profiling
+// a short CLI run means hitting /debug/pprof/profile while the run is in
+// flight.
+func StartPprof(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		// Serve on the default mux, where net/http/pprof registered its
+		// handlers. The error is unreachable by callers (the process is
+		// exiting) so it is intentionally dropped.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

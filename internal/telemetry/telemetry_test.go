@@ -1,0 +1,285 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	// The whole design rests on nil instruments being exact no-ops: call
+	// every method on nil receivers and require zero effect.
+	var tr *Tracer
+	tr.Span("x", 0, 1, nil)
+	tr.Event("y", 2, nil)
+	tr.SetManifest(&Manifest{})
+	if tr.Enabled() || tr.Len() != 0 || tr.Records() != nil {
+		t.Fatal("nil tracer did something")
+	}
+	if err := tr.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var reg *Registry
+	if reg.Enabled() {
+		t.Fatal("nil registry enabled")
+	}
+	c := reg.Counter("a")
+	g := reg.Gauge("b")
+	h := reg.Histogram("c", 0, 1, 4)
+	c.Inc()
+	c.Add(3)
+	g.Set(5)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil-registry instruments recorded values")
+	}
+	if reg.Snapshot() != nil {
+		t.Fatal("nil registry snapshot non-nil")
+	}
+	if err := reg.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteJSON(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerDeterministicOrder(t *testing.T) {
+	// Emit the same record set in two different orders (as parallel reads
+	// would); Records() and the JSONL bytes must be identical.
+	emit := func(order []int) *Tracer {
+		tr := NewTracer()
+		for _, i := range order {
+			tr.Span("qpu/anneal", float64(i), float64(i)+1, Attrs{"read": i})
+			tr.Event("fault", float64(i), Attrs{"kind": "drift", "read": i})
+		}
+		return tr
+	}
+	a := emit([]int{0, 1, 2, 3})
+	b := emit([]int{3, 1, 0, 2})
+	var ja, jb bytes.Buffer
+	if err := a.WriteJSONL(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSONL(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if ja.String() != jb.String() {
+		t.Fatalf("emission order leaked into the trace:\n%s\nvs\n%s", ja.String(), jb.String())
+	}
+}
+
+func TestTracerJSONLRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	tr.SetManifest(&Manifest{Tool: "test", GoVersion: "go1.x"})
+	tr.Span("qpu/anneal", 10, 12.5, Attrs{"read": 7})
+	tr.Event("deadline-miss", 99, nil)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want manifest + span + event", len(recs))
+	}
+	if recs[0].Type != "manifest" || recs[0].Manifest == nil || recs[0].Manifest.Tool != "test" {
+		t.Fatalf("first line is not the manifest: %+v", recs[0])
+	}
+	if recs[1].Type != "span" || recs[1].Name != "qpu/anneal" || recs[1].Duration() != 2.5 {
+		t.Fatalf("span mangled: %+v", recs[1])
+	}
+	if recs[2].Type != "event" || recs[2].T0 != 99 {
+		t.Fatalf("event mangled: %+v", recs[2])
+	}
+}
+
+func TestTracerConcurrentEmission(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Span("s", float64(i), float64(i+1), Attrs{"w": w})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 800 {
+		t.Fatalf("lost records: %d", tr.Len())
+	}
+}
+
+func TestRegistryCounterGaugeHistogram(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("reads_total", Label{"engine", "svmc"})
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotone
+	if c.Value() != 5 {
+		t.Fatalf("counter %v", c.Value())
+	}
+	// Same (name, labels) returns the same instrument.
+	if reg.Counter("reads_total", Label{"engine", "svmc"}).Value() != 5 {
+		t.Fatal("lookup did not return the existing counter")
+	}
+	// Different labels are a different series.
+	if reg.Counter("reads_total", Label{"engine", "pimc"}).Value() != 0 {
+		t.Fatal("label sets collided")
+	}
+
+	g := reg.Gauge("util")
+	g.Set(0.75)
+	if g.Value() != 0.75 {
+		t.Fatalf("gauge %v", g.Value())
+	}
+
+	h := reg.Histogram("lat", 0, 100, 10)
+	h.Observe(5)
+	h.Observe(95)
+	h.Observe(250) // clamps to last bucket
+	h.Observe(math.NaN())
+	if h.Count() != 3 {
+		t.Fatalf("histogram count %d", h.Count())
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch accepted")
+		}
+	}()
+	reg.Gauge("x")
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("faults_total", Label{"kind", "read-timeout"}).Add(3)
+	reg.Counter("faults_total", Label{"kind", "drift"}).Add(1)
+	reg.Gauge("util").Set(0.5)
+	h := reg.Histogram("lat_us", 0, 10, 2)
+	h.Observe(1) // bin [0,5)
+	h.Observe(7) // bin [5,10)
+	h.Observe(9)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE faults_total counter",
+		`faults_total{kind="drift"} 1`,
+		`faults_total{kind="read-timeout"} 3`,
+		"# TYPE lat_us histogram",
+		`lat_us_bucket{le="5"} 1`,
+		`lat_us_bucket{le="10"} 3`, // cumulative
+		`lat_us_bucket{le="+Inf"} 3`,
+		"lat_us_sum 17",
+		"lat_us_count 3",
+		"# TYPE util gauge",
+		"util 0.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE header per family, even with several label sets.
+	if strings.Count(out, "# TYPE faults_total") != 1 {
+		t.Fatalf("duplicate TYPE headers:\n%s", out)
+	}
+	// Deterministic: a second render is byte-identical.
+	var buf2 bytes.Buffer
+	if err := reg.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("prometheus exposition not deterministic")
+	}
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a").Add(2)
+	reg.Histogram("h", 0, 4, 2).Observe(1)
+	snap := reg.Snapshot()
+	if snap["a"].Kind != "counter" || snap["a"].Value != 2 {
+		t.Fatalf("counter snapshot %+v", snap["a"])
+	}
+	hs := snap["h"]
+	if hs.Kind != "histogram" || hs.Count != 1 || hs.Sum != 1 || len(hs.Bins) != 2 || hs.Bins[0] != 1 {
+		t.Fatalf("histogram snapshot %+v", hs)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"kind": "histogram"`) {
+		t.Fatalf("JSON exposition: %s", buf.String())
+	}
+}
+
+func TestNewManifestCapturesFlags(t *testing.T) {
+	m := NewManifest("testtool")
+	if m.Tool != "testtool" {
+		t.Fatalf("tool %q", m.Tool)
+	}
+	if m.GoVersion == "" || m.Platform == "" || m.StartedAt == "" {
+		t.Fatalf("manifest incomplete: %+v", m)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "testtool") {
+		t.Fatalf("manifest JSON: %s", buf.String())
+	}
+}
+
+func TestWriteBenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	rec := BenchRecord{Name: "Figure 8/quick", NsPerOp: 1e6, Iterations: 3, Series: "rows"}
+	if err := WriteBenchJSON(dir, rec); err != nil {
+		t.Fatal(err)
+	}
+	// The name is sanitized for the filesystem.
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_Figure_8_quick.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, `"ns_per_op": 1000000`) || !strings.Contains(s, `"recorded_at"`) {
+		t.Fatalf("bench record: %s", s)
+	}
+	if err := WriteBenchJSON(dir, BenchRecord{}); err == nil {
+		t.Fatal("nameless record accepted")
+	}
+}
+
+func TestStartPprofServes(t *testing.T) {
+	addr, err := StartPprof("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/cmdline", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof endpoint status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,172 @@
+// Package telemetry is the repository's observability layer: a span/event
+// tracer keyed to the SIMULATED microsecond clock the annealer and
+// pipeline already account in, a metrics registry (counters, gauges,
+// fixed-bucket histograms reusing metrics.Histogram) with Prometheus-text
+// and JSON exposition, run manifests, machine-readable benchmark records,
+// and a net/http/pprof helper.
+//
+// Two clocks exist in this system and the package keeps them separate by
+// construction: trace spans and events carry *simulated* μs (the
+// deterministic device/pipeline timing model — the numbers TTS and
+// deadline analyses are made of), while the run manifest records *wall*
+// time (when the process ran, for provenance only). Nothing in this
+// package feeds back into computation: telemetry consumes no RNG and
+// every instrument is nil-safe, so a nil Tracer/Registry/Probe is an
+// exact no-op and traced runs are bit-identical to untraced runs.
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Attrs carries a record's free-form attributes. Values should be
+// deterministic (no wall times, no pointers); encoding/json sorts map
+// keys, so marshaled attrs are stable.
+type Attrs map[string]any
+
+// Record is one trace entry. Spans have T0 ≤ T1; events use only T0.
+type Record struct {
+	// Type is "span", "event", or "manifest".
+	Type string `json:"type"`
+	// Name identifies the span/event taxonomy node (e.g. "qpu/anneal",
+	// "stage/cpu:gs", "retry/attempt").
+	Name string `json:"name,omitempty"`
+	// T0 and T1 are simulated μs. Events carry only T0.
+	T0 float64 `json:"t0_us"`
+	T1 float64 `json:"t1_us,omitempty"`
+	// Attrs carries structured details (read index, frame seq, fault kind).
+	Attrs Attrs `json:"attrs,omitempty"`
+	// Manifest is set only on the leading type:"manifest" record.
+	Manifest *Manifest `json:"manifest,omitempty"`
+}
+
+// Duration returns the span's simulated length (0 for events).
+func (r Record) Duration() float64 { return r.T1 - r.T0 }
+
+// Tracer collects spans and events concurrently and writes them as JSONL
+// in a deterministic order. All methods are safe on a nil receiver (a nil
+// tracer is a disabled tracer) and safe for concurrent use — the
+// annealer's parallel read loop and the pipeline's stage goroutines emit
+// into one tracer.
+type Tracer struct {
+	mu       sync.Mutex
+	manifest *Manifest
+	records  []Record
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Enabled reports whether the tracer collects (false for nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// SetManifest attaches the run manifest emitted as the first JSONL line.
+func (t *Tracer) SetManifest(m *Manifest) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.manifest = m
+	t.mu.Unlock()
+}
+
+// Span records a [t0, t1] interval on the simulated clock.
+func (t *Tracer) Span(name string, t0, t1 float64, attrs Attrs) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.records = append(t.records, Record{Type: "span", Name: name, T0: t0, T1: t1, Attrs: attrs})
+	t.mu.Unlock()
+}
+
+// Event records an instantaneous occurrence at simulated time at.
+func (t *Tracer) Event(name string, at float64, attrs Attrs) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.records = append(t.records, Record{Type: "event", Name: name, T0: at, Attrs: attrs})
+	t.mu.Unlock()
+}
+
+// Len returns the number of collected records (0 for nil).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.records)
+}
+
+// Records returns a deterministically ordered copy of the collected
+// records. Parallel emitters append in host-scheduling order, so the copy
+// is sorted by (T0, Name, marshaled attrs) — the record SET is
+// deterministic for a fixed seed, hence so is the sorted sequence.
+func (t *Tracer) Records() []Record {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]Record(nil), t.records...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].T0 != out[j].T0 {
+			return out[i].T0 < out[j].T0
+		}
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		ai, _ := json.Marshal(out[i].Attrs)
+		aj, _ := json.Marshal(out[j].Attrs)
+		return string(ai) < string(aj)
+	})
+	return out
+}
+
+// WriteJSONL writes the manifest (if set) followed by every record, one
+// JSON object per line, in deterministic order.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	t.mu.Lock()
+	m := t.manifest
+	t.mu.Unlock()
+	if m != nil {
+		if err := enc.Encode(Record{Type: "manifest", Manifest: m}); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Records() {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL trace back into records (manifest line
+// included, as a type:"manifest" record) — the consumer half used by
+// tests and offline analysis.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	var out []Record
+	dec := json.NewDecoder(r)
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("telemetry: parse trace: %w", err)
+		}
+		out = append(out, rec)
+	}
+}
