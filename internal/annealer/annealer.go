@@ -63,7 +63,7 @@ type Params struct {
 	// anneal μs, and faults by kind.
 	Metrics *telemetry.Registry
 	// Probe receives per-sweep engine observations (replica energies,
-	// acceptance rates, s(t)) when the engine implements ProbedEngine.
+	// acceptance rates, s(t)) from the engine's read loop.
 	Probe Probe
 	// Timing lays the trace spans out with device overheads (programming,
 	// readout μs). Results never depend on it. QPU.Run fills it from its
@@ -95,6 +95,9 @@ func (p Params) withDefaults() (Params, error) {
 		p.Profile = &prof
 	}
 	if err := p.Profile.Validate(); err != nil {
+		return p, err
+	}
+	if err := p.ICE.Validate(); err != nil {
 		return p, err
 	}
 	if err := p.Faults.Validate(); err != nil {
@@ -159,10 +162,101 @@ func compactReads(samples []qubo.Sample, faults []readFault) ([]qubo.Sample, Fau
 	return kept, stats
 }
 
+// readScratch is the per-read working set that survives between reads of
+// a batch: the RNG streams (split in place instead of allocated), the
+// coefficient clone that per-read noise is programmed into, and the
+// quench's local-field buffer.
+type readScratch struct {
+	rr, fr rng.Source
+	prog   *qubo.CSR // lazily cloned from the batch base on first use
+	field  []float64
+}
+
+// batch holds one Run call's shared compiled state: the base CSR problem
+// every read programs from, and the scratch pool that makes steady-state
+// reads allocation-free.
+type batch struct {
+	p    Params
+	base *qubo.CSR
+	read ReadFunc
+	pool sync.Pool
+}
+
+func newBatch(p Params, base *qubo.CSR) (*batch, error) {
+	read, err := p.Engine.Prepare(p.Schedule, *p.Profile, p.SweepsPerMicrosecond)
+	if err != nil {
+		return nil, err
+	}
+	b := &batch{p: p, base: base, read: read}
+	b.pool.New = func() any {
+		return &readScratch{field: make([]float64, base.N)}
+	}
+	return b, nil
+}
+
+// program returns the problem read should run against: the shared base
+// when no noise applies, or the scratch's pooled coefficient clone with
+// ICE and (when the fault fires) calibration drift programmed in. The
+// noise draw order matches the adjacency-list ICE/drift path: h in spin
+// order (nonzero entries only), then couplings in (i, j), i < j order.
+func (b *batch) program(st *readScratch, drifted *bool) *qubo.CSR {
+	ice := b.p.ICE
+	*drifted = b.p.Faults.driftFires(&st.fr)
+	if !ice.enabled() && !*drifted {
+		return b.base
+	}
+	if st.prog == nil {
+		st.prog = b.base.CloneCoeffs()
+	} else {
+		st.prog.CopyCoeffsFrom(b.base)
+	}
+	if ice.enabled() {
+		applyGaussianCSR(st.prog, ice.SigmaH, ice.SigmaJ, &st.rr)
+	}
+	if *drifted {
+		sigma := b.p.Faults.driftSigma()
+		applyGaussianCSR(st.prog, sigma, sigma, &st.fr)
+	}
+	return st.prog
+}
+
+// oneRead runs read index `read` of the batch: stream derivation, fault
+// draws, programming, dynamics, quench, storm. out receives the measured
+// state; the returned problem is what the read actually ran against.
+func (b *batch) oneRead(read int, root *rng.Source, out []int8, f *readFault) (ran bool) {
+	st := b.pool.Get().(*readScratch)
+	defer b.pool.Put(st)
+	root.SplitInto(&st.rr, uint64(read))
+	// Split never advances rr: dynamics stay fault-independent.
+	st.rr.SplitStringInto(&st.fr, "fault")
+	if b.p.Faults.readTimesOut(&st.fr) {
+		f.timeout = true
+		return false
+	}
+	prog := b.program(st, &f.drift)
+	var probe Probe
+	if b.p.Probe != nil {
+		probe = readProbe{b.p.Probe, read}
+	}
+	b.read(prog, b.p.InitialState, out, &st.rr, probe)
+	if !b.p.NoQuench {
+		prog.Quench(out, st.field)
+	}
+	f.storm = b.p.Faults.storm(out, &st.fr)
+	return true
+}
+
 // Run draws reads from the simulated annealer for a logical (all-to-all
 // capable) problem. The problem is normalized to the device coefficient
 // range for the dynamics; reported energies are in the caller's original
 // scale.
+//
+// The hot path is compiled once per batch: the normalized problem becomes
+// a flat CSR view shared read-only by every read, the engine precomputes
+// its per-sweep schedule tables in Prepare, and per-read scratch (engine
+// state, coefficient clones, quench fields, sample spins) comes from
+// pools or one flat block — steady-state batches allocate O(1) beyond
+// the returned samples.
 //
 // With an active FaultModel, Run returns a *FaultError when the batch
 // programming fails or every read is lost; surviving soft faults are
@@ -184,25 +278,23 @@ func Run(is *qubo.Ising, p Params, r *rng.Source) (*Result, error) {
 		p.emitHardFault(FaultProgramming)
 		return nil, &FaultError{Kind: FaultProgramming}
 	}
-	norm, _ := is.Normalized()
+	pr := qubo.NewCSR(is)
+	pr.Normalize()
+	b, err := newBatch(p, pr)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{ScheduleDuration: p.Schedule.Duration()}
 	samples := make([]qubo.Sample, p.NumReads)
 	faults := make([]readFault, p.NumReads)
+	// One flat spin block backs every sample, so the batch performs O(1)
+	// allocations regardless of NumReads.
+	spins := make([]int8, p.NumReads*is.N)
 	parallelFor(p.NumReads, p.Parallelism, func(read int) {
-		rr := r.Split(uint64(read))
-		fr := rr.SplitString("fault") // Split never advances rr: dynamics stay fault-independent
-		if p.Faults.readTimesOut(fr) {
-			faults[read].timeout = true
-			return
+		out := spins[read*is.N : (read+1)*is.N]
+		if b.oneRead(read, r, out, &faults[read]) {
+			samples[read] = qubo.Sample{Spins: out, Energy: is.Energy(out)}
 		}
-		prog := p.ICE.Perturb(norm, rr)
-		prog, faults[read].drift = p.Faults.drift(prog, fr)
-		spins := p.anneal(prog, read, rr)
-		if !p.NoQuench {
-			spins = qubo.SteepestDescent(prog, spins).Spins
-		}
-		faults[read].storm = p.Faults.storm(spins, fr)
-		samples[read] = qubo.Sample{Spins: spins, Energy: is.Energy(spins)}
 	})
 	res.Samples, res.Faults = compactReads(samples, faults)
 	res.TotalAnnealTime = float64(p.NumReads) * res.ScheduleDuration
@@ -215,19 +307,12 @@ func Run(is *qubo.Ising, p Params, r *rng.Source) (*Result, error) {
 	return res, nil
 }
 
-// anneal evolves one read, dispatching through ProbedEngine when a probe
-// is wired (the probe sees the read's index; the dynamics are identical
-// either way).
-func (p Params) anneal(prog *qubo.Ising, read int, rr *rng.Source) []int8 {
-	if pe, ok := p.Engine.(ProbedEngine); ok && p.Probe != nil {
-		return pe.AnnealProbed(prog, p.Schedule, *p.Profile, p.InitialState, p.SweepsPerMicrosecond, rr, readProbe{p.Probe, read})
-	}
-	return p.Engine.Anneal(prog, p.Schedule, *p.Profile, p.InitialState, p.SweepsPerMicrosecond, rr)
-}
-
-// parallelFor runs body(0..n-1), optionally across a worker pool. Callers
-// derive read i's RNG stream from its index, so the result is independent
-// of the parallelism level.
+// parallelFor runs body(0..n-1), optionally across a worker pool. Each
+// worker owns one contiguous index chunk — no per-index channel
+// operations, whose send/recv overhead is measurable when reads are
+// short. Callers derive read i's RNG stream from its index, so the
+// result is independent of the parallelism level and of the chunk
+// assignment.
 func parallelFor(n, parallelism int, body func(i int)) {
 	if parallelism <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
@@ -238,21 +323,21 @@ func parallelFor(n, parallelism int, body func(i int)) {
 	if parallelism > n {
 		parallelism = n
 	}
-	jobs := make(chan int)
+	chunk := (n + parallelism - 1) / parallelism
 	var wg sync.WaitGroup
-	for w := 0; w < parallelism; w++ {
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
 		wg.Add(1)
-		go func() {
+		go func(lo, hi int) {
 			defer wg.Done()
-			for i := range jobs {
+			for i := lo; i < hi; i++ {
 				body(i)
 			}
-		}()
+		}(lo, hi)
 	}
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
 	wg.Wait()
 }
 
@@ -345,31 +430,48 @@ func (q *QPU) Run(logical *qubo.Ising, p Params, r *rng.Source) (*Result, error)
 		p.emitHardFault(FaultProgramming)
 		return nil, &FaultError{Kind: FaultProgramming}
 	}
-	normPhys, _ := phys.Normalized()
+	prPhys := qubo.NewCSR(phys)
+	prPhys.Normalize()
+	b, err := newBatch(p, prPhys)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{ScheduleDuration: p.Schedule.Duration()}
 	samples := make([]qubo.Sample, p.NumReads)
 	faults := make([]readFault, p.NumReads)
+	// Flat blocks back both the physical readout and the unembedded
+	// logical samples — O(1) allocations per batch.
+	physSpins := make([]int8, p.NumReads*phys.N)
+	logSpins := make([]int8, p.NumReads*logical.N)
 	// Chain breakage is counted on the RAW engine output — the state the
 	// device's readout would see — before the quench heals chains on the
 	// way to each sample's reported basin, and before any storm.
 	broken := make([]int, p.NumReads)
 	parallelFor(p.NumReads, p.Parallelism, func(read int) {
-		rr := r.Split(uint64(read))
-		fr := rr.SplitString("fault")
-		if p.Faults.readTimesOut(fr) {
+		phys := physSpins[read*b.base.N : (read+1)*b.base.N]
+		logical2 := logSpins[read*logical.N : (read+1)*logical.N]
+		st := b.pool.Get().(*readScratch)
+		r.SplitInto(&st.rr, uint64(read))
+		st.rr.SplitStringInto(&st.fr, "fault")
+		if b.p.Faults.readTimesOut(&st.fr) {
 			faults[read].timeout = true
+			b.pool.Put(st)
 			return
 		}
-		prog := p.ICE.Perturb(normPhys, rr)
-		prog, faults[read].drift = p.Faults.drift(prog, fr)
-		physSpins := p.anneal(prog, read, rr)
-		_, broken[read] = emb.Unembed(physSpins)
-		if !p.NoQuench {
-			physSpins = qubo.SteepestDescent(prog, physSpins).Spins
+		prog := b.program(st, &faults[read].drift)
+		var probe Probe
+		if p.Probe != nil {
+			probe = readProbe{p.Probe, read}
 		}
-		faults[read].storm = p.Faults.storm(physSpins, fr)
-		spins, _ := emb.Unembed(physSpins)
-		samples[read] = qubo.Sample{Spins: spins, Energy: logical.Energy(spins)}
+		b.read(prog, p.InitialState, phys, &st.rr, probe)
+		broken[read] = emb.UnembedInto(logical2, phys)
+		if !p.NoQuench {
+			prog.Quench(phys, st.field)
+		}
+		faults[read].storm = p.Faults.storm(phys, &st.fr)
+		emb.UnembedInto(logical2, phys)
+		samples[read] = qubo.Sample{Spins: logical2, Energy: logical.Energy(logical2)}
+		b.pool.Put(st)
 	})
 	res.Samples, res.Faults = compactReads(samples, faults)
 	res.TotalAnnealTime = float64(p.NumReads) * res.ScheduleDuration
@@ -379,9 +481,9 @@ func (q *QPU) Run(logical *qubo.Ising, p Params, r *rng.Source) (*Result, error)
 		return nil, &FaultError{Kind: FaultAllReadsLost}
 	}
 	totalBroken := 0
-	for read, b := range broken {
+	for read, br := range broken {
 		if !faults[read].timeout {
-			totalBroken += b
+			totalBroken += br
 		}
 	}
 	res.BrokenChainRate = float64(totalBroken) / float64(len(res.Samples)*logical.N)

@@ -395,25 +395,25 @@ func TestPIMCTemporalCoupling(t *testing.T) {
 }
 
 func BenchmarkSVMCAnneal32(b *testing.B) {
-	is := frustrated(32, 1)
-	fa, _ := Forward(1, 0.41, 1)
-	prof := DWave2000QProfile()
-	r := rng.New(1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = (SVMC{}).Anneal(is, fa, prof, nil, 100, r)
-	}
+	benchmarkEngineAnneal32(b, SVMC{})
 }
 
 func BenchmarkPIMCAnneal32(b *testing.B) {
-	is := frustrated(32, 1)
+	benchmarkEngineAnneal32(b, PIMC{Slices: 16})
+}
+
+func benchmarkEngineAnneal32(b *testing.B, eng Engine) {
+	pr := qubo.NewCSR(frustrated(32, 1))
 	fa, _ := Forward(1, 0.41, 1)
-	prof := DWave2000QProfile()
+	read, err := eng.Prepare(fa, DWave2000QProfile(), 100)
+	if err != nil {
+		b.Fatal(err)
+	}
 	r := rng.New(1)
-	eng := PIMC{Slices: 16}
+	out := make([]int8, pr.N)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = eng.Anneal(is, fa, prof, nil, 100, r)
+		read(pr, nil, out, r, nil)
 	}
 }
 

@@ -1,0 +1,160 @@
+package annealer
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/chimera"
+	"repro/internal/instance"
+	"repro/internal/modulation"
+	"repro/internal/qubo"
+	"repro/internal/rng"
+	"repro/internal/telemetry"
+)
+
+// The hot-path benchmarks run the paper's reference workload: the 8-user
+// 16-QAM detection instance (32 logical spins), clique-embedded onto
+// Chimera and normalized — the physical problem an anneal batch actually
+// sweeps. Set BENCH_JSON_DIR to record machine-readable BENCH_*.json
+// results; each record carries the pre-CSR baseline measured on the same
+// workload so the speedup is tracked across PRs.
+
+// baselineNsPerSweep holds the ns/sweep of the adjacency-list engines
+// before the CSR/sweep-table/pooling restructuring (same instance, same
+// schedule, same host class), recorded by the perf PR that introduced
+// these benchmarks.
+var baselineNsPerSweep = map[string]float64{
+	"svmc": 47840,
+	"pimc": 258372,
+}
+
+func embeddedBenchIsing(b *testing.B) *qubo.Ising {
+	b.Helper()
+	in, err := instance.Synthesize(instance.Spec{Users: 8, Scheme: modulation.QAM16, Seed: 0xBE9C})
+	if err != nil {
+		b.Fatal(err)
+	}
+	logical := in.Reduction.Ising
+	g := chimera.NewGraph(chimera.MinGridFor(logical.N))
+	emb, err := chimera.EmbedClique(g, logical.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	phys, err := emb.EmbedIsing(logical, chimera.RecommendedChainStrength(logical))
+	if err != nil {
+		b.Fatal(err)
+	}
+	norm, _ := phys.Normalized()
+	return norm
+}
+
+// benchSweepConfig is the Config payload of a sweep benchmark's
+// BENCH_*.json record.
+type benchSweepConfig struct {
+	Engine             string  `json:"engine"`
+	Spins              int     `json:"spins"`
+	SweepsPerRead      int     `json:"sweeps_per_read"`
+	NsPerSweep         float64 `json:"ns_per_sweep"`
+	BaselineNsPerSweep float64 `json:"baseline_ns_per_sweep"`
+	Speedup            float64 `json:"speedup"`
+}
+
+func benchmarkSweep(b *testing.B, eng Engine) {
+	is := embeddedBenchIsing(b)
+	pr := qubo.NewCSR(is)
+	fa, _ := Forward(1, 0.41, 1)
+	prof := DWave2000QProfile()
+	sweeps, err := sweepCount(fa, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	read, err := eng.Prepare(fa, prof, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	out := make([]int8, pr.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		read(pr, nil, out, r, nil)
+	}
+	nsPerSweep := float64(b.Elapsed().Nanoseconds()) / float64(b.N*sweeps)
+	b.ReportMetric(nsPerSweep, "ns/sweep")
+	if dir := os.Getenv(telemetry.BenchJSONDirEnv); dir != "" {
+		base := baselineNsPerSweep[eng.Name()]
+		cfg := benchSweepConfig{
+			Engine: eng.Name(), Spins: pr.N, SweepsPerRead: sweeps,
+			NsPerSweep: nsPerSweep, BaselineNsPerSweep: base,
+		}
+		if base > 0 && nsPerSweep > 0 {
+			cfg.Speedup = base / nsPerSweep
+		}
+		rec := telemetry.BenchRecord{
+			Name:       "Annealer" + eng.Name() + "Sweep",
+			NsPerOp:    float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+			Iterations: b.N,
+			Config:     cfg,
+			Series: fmt.Sprintf("engine=%s spins=%d ns/sweep=%.0f baseline=%.0f speedup=%.2fx",
+				eng.Name(), pr.N, nsPerSweep, base, cfg.Speedup),
+		}
+		if err := telemetry.WriteBenchJSON(dir, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSVMCSweep(b *testing.B) { benchmarkSweep(b, SVMC{}) }
+func BenchmarkPIMCSweep(b *testing.B) { benchmarkSweep(b, PIMC{Slices: 16}) }
+
+// BenchmarkRun measures a full 32-read batch through the public entry
+// point — normalization, CSR compilation, engine prepare, reads, quench,
+// sampling. Run with -benchmem: the per-read allocation count is the
+// zero-alloc acceptance gate (scratch is pooled; the only growth is the
+// returned samples).
+func BenchmarkRun(b *testing.B) {
+	is := embeddedBenchIsing(b)
+	fa, _ := Forward(1, 0.41, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(is, Params{Schedule: fa, NumReads: 32, SweepsPerMicrosecond: 30}, rng.New(uint64(i)+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if dir := os.Getenv(telemetry.BenchJSONDirEnv); dir != "" {
+		rec := telemetry.BenchRecord{
+			Name:       "AnnealerRun32Reads",
+			NsPerOp:    float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+			Iterations: b.N,
+			Config: map[string]any{
+				"engine": "svmc", "reads": 32, "spins": is.N,
+				"baseline_bytes_per_op": 605264, "baseline_allocs_per_op": 556,
+			},
+			Series: fmt.Sprintf("reads=32 spins=%d ns/op=%.0f", is.N,
+				float64(b.Elapsed().Nanoseconds())/float64(b.N)),
+		}
+		if err := telemetry.WriteBenchJSON(dir, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunICEFaults exercises the noisy programming path (per-read
+// coefficient clones) to pin that pooled clones keep it allocation-light.
+func BenchmarkRunICEFaults(b *testing.B) {
+	is := embeddedBenchIsing(b)
+	fa, _ := Forward(1, 0.41, 1)
+	p := Params{
+		Schedule: fa, NumReads: 32, SweepsPerMicrosecond: 30,
+		ICE:    DWave2000QICE(),
+		Faults: FaultModel{CalibrationDriftRate: 0.2, ReadTimeoutRate: 0.05},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(is, p, rng.New(uint64(i)+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

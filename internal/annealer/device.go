@@ -121,6 +121,45 @@ type ICE struct {
 // (relative to the normalized ±1 coefficient range).
 func DWave2000QICE() ICE { return ICE{SigmaH: 0.03, SigmaJ: 0.02} }
 
+// Validate checks the noise magnitudes are non-negative. Run validates the
+// model once per batch, so the per-read apply paths never re-check.
+func (ice ICE) Validate() error {
+	if ice.SigmaH < 0 || ice.SigmaJ < 0 {
+		return fmt.Errorf("annealer: negative ICE sigma (h=%g, j=%g)", ice.SigmaH, ice.SigmaJ)
+	}
+	return nil
+}
+
+// enabled reports whether any noise can be drawn.
+func (ice ICE) enabled() bool { return ice.SigmaH != 0 || ice.SigmaJ != 0 }
+
+// applyGaussianCSR perturbs a compiled problem's coefficients in place:
+// nonzero fields by N(0, sigmaH²) and each undirected coupling by
+// N(0, sigmaJ²), both halves of the mirrored entry receiving the same
+// draw. The draw order — fields in spin order, then couplings in (i, j),
+// i < j order — matches ICE.Perturb on the adjacency form, so a seed
+// programs the same noise through either path.
+func applyGaussianCSR(c *qubo.CSR, sigmaH, sigmaJ float64, r *rng.Source) {
+	if sigmaH > 0 {
+		for i, h := range c.H {
+			if h != 0 {
+				c.H[i] += sigmaH * r.NormFloat64()
+			}
+		}
+	}
+	if sigmaJ > 0 {
+		for i := 0; i < c.N; i++ {
+			for k := c.Offsets[i]; k < c.Offsets[i+1]; k++ {
+				if int(c.Cols[k]) > i {
+					dv := sigmaJ * r.NormFloat64()
+					c.W[k] += dv
+					c.W[c.Mirror[k]] += dv
+				}
+			}
+		}
+	}
+}
+
 // Perturb returns a copy of the problem with control-error noise applied
 // (or the original when the ICE is zero).
 func (ice ICE) Perturb(is *qubo.Ising, r *rng.Source) *qubo.Ising {

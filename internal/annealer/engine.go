@@ -7,9 +7,7 @@ import (
 	"repro/internal/rng"
 )
 
-// Engine is a classical surrogate for the annealer's quantum dynamics: it
-// evolves one sample through an anneal schedule and returns the measured
-// classical state.
+// Engine is a classical surrogate for the annealer's quantum dynamics.
 //
 // Two engines are provided. SVMC (spin-vector Monte Carlo) models each
 // qubit as a classical O(2) rotor — cheap and known to capture much of
@@ -17,25 +15,79 @@ import (
 // simulated quantum annealing) simulates the transverse-field Ising model
 // through its Suzuki–Trotter decomposition — the standard reference
 // surrogate in the quantum-annealing benchmarking literature.
+//
+// An engine runs in two phases. Prepare compiles the batch-invariant
+// sweep program — the per-sweep schedule quantities s(t), A(s), B(s) and
+// any engine-specific factors derived from them, which are identical for
+// every read of a batch — and returns the ReadFunc that evolves one read.
+// Run calls Prepare once and fans the ReadFunc out across reads, so the
+// per-sweep trigonometry/transcendentals are paid once per batch instead
+// of once per read.
+//
+// Precondition (validated by the caller, once): the schedule has passed
+// (*Schedule).Validate and the profile (Profile).Validate. Run/QPU.Run
+// establish this in withDefaults before any engine code runs; engines do
+// not re-validate and must not panic on schedule content. The one knob an
+// engine interprets itself — the sweep rate — is checked in Prepare,
+// which returns an error (never panics) for a non-positive rate.
 type Engine interface {
 	// Name identifies the engine in experiment output.
 	Name() string
-	// Anneal evolves one read. init is the programmed classical initial
-	// state for schedules that start at s = 1 (reverse annealing) and is
-	// ignored otherwise; sweepsPerMicrosecond converts schedule time to
-	// Monte-Carlo sweeps.
-	Anneal(is *qubo.Ising, sc *Schedule, prof Profile, init []int8, sweepsPerMicrosecond float64, r *rng.Source) []int8
+	// Prepare compiles the sweep program for one batch. See the interface
+	// comment for the validation contract.
+	Prepare(sc *Schedule, prof Profile, sweepsPerMicrosecond float64) (ReadFunc, error)
 }
 
-// ProbedEngine is implemented by engines that can report per-sweep
-// observations to a Probe. Run dispatches through it when Params.Probe is
-// set; plain Engines still work, just unobserved. AnnealProbed with a nil
-// probe must be exactly Anneal — probing may never perturb the dynamics
-// (the probe sees state, it does not touch the RNG).
-type ProbedEngine interface {
-	Engine
-	AnnealProbed(is *qubo.Ising, sc *Schedule, prof Profile, init []int8, sweepsPerMicrosecond float64, r *rng.Source, probe Probe) []int8
+// ReadFunc evolves one read against pr — the compiled problem, whose
+// topology is the batch's but whose coefficients may carry per-read noise
+// (ICE, calibration drift) — and writes the measured classical state into
+// out (length pr.N). init is the programmed initial state for schedules
+// that start at s = 1 (reverse annealing) and is ignored otherwise. probe,
+// when non-nil, receives one observation per sweep; a nil probe must cost
+// nothing beyond a per-sweep nil check, and probing may never perturb the
+// dynamics (the probe sees state, it does not touch the RNG).
+//
+// ReadFuncs are safe for concurrent use: compiled state is read-only and
+// per-read scratch is pooled internally, so steady-state reads allocate
+// nothing.
+type ReadFunc func(pr *qubo.CSR, init []int8, out []int8, r *rng.Source, probe Probe)
+
+// sweepTable is the batch-shared sweep program: for each Monte-Carlo
+// sweep, the schedule time, anneal fraction and energy scales every read
+// will see there. Engines extend it with their own derived columns
+// (temporal coupling, move scales) in Prepare.
+type sweepTable struct {
+	duration float64
+	t        []float64 // μs into the schedule
+	s        []float64 // anneal fraction s(t)
+	a        []float64 // transverse-field scale A(s)
+	b        []float64 // problem scale B(s)
 }
+
+func newSweepTable(sc *Schedule, prof Profile, sweepsPerMicrosecond float64) (*sweepTable, error) {
+	sweeps, err := sweepCount(sc, sweepsPerMicrosecond)
+	if err != nil {
+		return nil, err
+	}
+	tab := &sweepTable{
+		duration: sc.Duration(),
+		t:        make([]float64, sweeps),
+		s:        make([]float64, sweeps),
+		a:        make([]float64, sweeps),
+		b:        make([]float64, sweeps),
+	}
+	for i := 0; i < sweeps; i++ {
+		t := tab.duration * float64(i) / float64(sweeps-1)
+		s := sc.At(t)
+		tab.t[i] = t
+		tab.s[i] = s
+		tab.a[i] = prof.A(s)
+		tab.b[i] = prof.B(s)
+	}
+	return tab, nil
+}
+
+func (tab *sweepTable) sweeps() int { return len(tab.t) }
 
 // sweepCount converts a schedule duration to an integer sweep count
 // (at least 1 per schedule point segment).

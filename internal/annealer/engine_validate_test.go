@@ -1,0 +1,72 @@
+package annealer
+
+import (
+	"testing"
+
+	"repro/internal/qubo"
+	"repro/internal/rng"
+)
+
+// Prepare must reject a non-positive sweep rate with an error, never a
+// panic: the validation is part of the Engine contract so callers can
+// surface bad configs instead of crashing a batch worker.
+func TestPrepareRejectsNonPositiveSweepRate(t *testing.T) {
+	sc, err := Forward(1, 0.5, 0)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	prof := CalibratedProfile()
+	engines := []Engine{SVMC{}, SVMC{TFMoves: true}, PIMC{Slices: 8}}
+	for _, e := range engines {
+		for _, rate := range []float64{0, -1, -1e9} {
+			read, err := e.Prepare(sc, prof, rate)
+			if err == nil {
+				t.Fatalf("%s.Prepare(rate=%g): want error, got nil", e.Name(), rate)
+			}
+			if read != nil {
+				t.Fatalf("%s.Prepare(rate=%g): non-nil ReadFunc alongside error", e.Name(), rate)
+			}
+		}
+		if _, err := e.Prepare(sc, prof, 100); err != nil {
+			t.Fatalf("%s.Prepare(rate=100): unexpected error %v", e.Name(), err)
+		}
+	}
+}
+
+// applyGaussianCSR is the per-read noise path on the compiled problem;
+// it must program the same coefficients as ICE.Perturb on the adjacency
+// form given the same seed, so the CSR refactor cannot change which
+// noisy instance a read sees.
+func TestApplyGaussianCSRMatchesPerturb(t *testing.T) {
+	r := rng.New(0x1CE0)
+	is := qubo.NewIsing(12)
+	for i := 0; i < is.N; i++ {
+		is.H[i] = 2*r.Float64() - 1
+		for j := i + 1; j < is.N; j++ {
+			if r.Float64() < 0.5 {
+				is.SetCoupling(i, j, 2*r.Float64()-1)
+			}
+		}
+	}
+	is.H[3] = 0 // zero fields must stay exactly zero under ICE
+
+	ice := ICE{SigmaH: 0.03, SigmaJ: 0.02}
+	const seed = 0xD1F7
+	want := qubo.NewCSR(ice.Perturb(is, rng.New(seed)))
+	got := qubo.NewCSR(is)
+	applyGaussianCSR(got, ice.SigmaH, ice.SigmaJ, rng.New(seed))
+
+	for i := range want.H {
+		if got.H[i] != want.H[i] {
+			t.Fatalf("H[%d] = %v, want %v", i, got.H[i], want.H[i])
+		}
+	}
+	if got.H[3] != 0 {
+		t.Fatalf("zero field perturbed to %v", got.H[3])
+	}
+	for k := range want.W {
+		if got.W[k] != want.W[k] {
+			t.Fatalf("W[%d] = %v, want %v", k, got.W[k], want.W[k])
+		}
+	}
+}

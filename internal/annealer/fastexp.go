@@ -1,0 +1,71 @@
+package annealer
+
+import "math"
+
+// The Metropolis acceptance test u < exp(−x) consumes most of both
+// engines' sweep time when evaluated with math.Exp per uphill proposal.
+// But the dynamics only need the BOOLEAN, and exp is monotone: a coarse
+// table of exp at grid points brackets exp(−x) between rigorous bounds,
+// so almost every draw resolves against the bracket with two compares.
+// Only draws landing inside the bracket — a few percent, the bracket
+// being ~3% of the local value — fall back to math.Exp, so the outcome
+// is bit-identical to evaluating math.Exp every time.
+
+const (
+	// expGridStep is the bracket resolution: 32 slots per unit of x.
+	expGridStep = 32
+	// expGridMax covers x < 40; beyond it exp(−x) < 4.3e−18, smaller
+	// than the smallest nonzero Float64() draw (2⁻⁵³ ≈ 1.1e−16).
+	expGridMax = 40 * expGridStep
+)
+
+// expBounds interleaves the bracket for slot k at [2k, 2k+1]:
+// expBounds[2k] ≥ exp(−x) for all x ≥ k/32 and expBounds[2k+1] ≤ exp(−x)
+// for all x ≤ (k+1)/32, so one acceptance test touches one cache line.
+// The 1e−9 margins dwarf every rounding error in the table construction
+// and the x·32 slot index.
+var expBounds [2 * (expGridMax + 1)]float64
+
+func init() {
+	for k := 0; k <= expGridMax; k++ {
+		expBounds[2*k] = math.Exp(-float64(k)/expGridStep) * (1 + 1e-9)
+		expBounds[2*k+1] = math.Exp(-float64(k+1)/expGridStep) * (1 - 1e-9)
+	}
+}
+
+// metroBracket resolves u < exp(−x) against the bracket alone: +1 means
+// accept, −1 reject, 0 undecided (the draw landed inside the bracket, or
+// x is past the table) — undecided must be settled by metropolisExpExact.
+// It contains no calls, so it inlines into the engines' proposal loops.
+func metroBracket(u, x float64) int32 {
+	k := uint(x * expGridStep)
+	if k >= expGridMax {
+		return 0
+	}
+	if u >= expBounds[2*k] {
+		return -1
+	}
+	if u < expBounds[2*k+1] {
+		return 1
+	}
+	return 0
+}
+
+// metropolisExp reports u < exp(−x) for x > 0, bit-identically to
+// computing math.Exp(−x) — the bracket only short-circuits decisions the
+// exact comparison could not decide differently.
+func metropolisExp(u, x float64) bool {
+	v := metroBracket(u, x)
+	return v > 0 || (v == 0 && metropolisExpExact(u, x))
+}
+
+// metropolisExpExact is the math.Exp fallback. It also covers x ≥ 40
+// directly: there exp(−x) is smaller than the smallest nonzero Float64()
+// draw, so u < exp(−x) is false for every u except u == 0, which the
+// comparison itself gets right (including after exp underflows to 0).
+// Kept out of line so metropolisExp fits the inlining budget.
+//
+//go:noinline
+func metropolisExpExact(u, x float64) bool {
+	return u < math.Exp(-x)
+}

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/qubo"
 	"repro/internal/rng"
 )
 
@@ -81,26 +80,20 @@ func (fm FaultModel) readTimesOut(fr *rng.Source) bool {
 	return fm.ReadTimeoutRate > 0 && fr.Float64() < fm.ReadTimeoutRate
 }
 
-// drift returns the problem the read actually runs against: the input, or
-// a drifted copy when a calibration-drift fault fires.
-func (fm FaultModel) drift(is *qubo.Ising, fr *rng.Source) (*qubo.Ising, bool) {
-	if fm.CalibrationDriftRate <= 0 || fr.Float64() >= fm.CalibrationDriftRate {
-		return is, false
+// driftFires decides one read's calibration-drift fault from its fault
+// stream, consuming exactly one draw iff the rate is positive (so a
+// zero-rate model stays an exact no-op). The drifted coefficients
+// themselves are programmed by applyGaussianCSR with driftSigma.
+func (fm FaultModel) driftFires(fr *rng.Source) bool {
+	return fm.CalibrationDriftRate > 0 && fr.Float64() < fm.CalibrationDriftRate
+}
+
+// driftSigma returns the coefficient sigma applied when a drift fires.
+func (fm FaultModel) driftSigma() float64 {
+	if fm.DriftSigma == 0 {
+		return 0.05
 	}
-	sigma := fm.DriftSigma
-	if sigma == 0 {
-		sigma = 0.05
-	}
-	out := is.Clone()
-	for i := range out.H {
-		if out.H[i] != 0 {
-			out.H[i] += sigma * fr.NormFloat64()
-		}
-	}
-	for _, e := range out.Edges() {
-		out.SetCoupling(e.I, e.J, e.V+sigma*fr.NormFloat64())
-	}
-	return out, true
+	return fm.DriftSigma
 }
 
 // storm corrupts the measured state in place when a chain-break storm

@@ -162,10 +162,20 @@ func (e *Embedding) EmbedIsing(logical *qubo.Ising, chainStrength float64) (*qub
 // majority vote over each chain (ties break to +1), also reporting how
 // many chains were broken (not unanimous).
 func (e *Embedding) Unembed(physSpins []int8) (logical []int8, brokenChains int) {
+	logical = make([]int8, e.N())
+	return logical, e.UnembedInto(logical, physSpins)
+}
+
+// UnembedInto is Unembed writing into a caller-provided logical buffer of
+// length N(), for hot paths that unembed every read without allocating.
+// It returns the broken-chain count.
+func (e *Embedding) UnembedInto(logical []int8, physSpins []int8) (brokenChains int) {
 	if len(physSpins) != e.Graph.NumQubits() {
 		panic("chimera: Unembed with wrong-length physical state")
 	}
-	logical = make([]int8, e.N())
+	if len(logical) != e.N() {
+		panic("chimera: UnembedInto with wrong-length logical buffer")
+	}
 	for i, chain := range e.Chains {
 		sum := 0
 		for _, q := range chain {
@@ -180,7 +190,7 @@ func (e *Embedding) Unembed(physSpins []int8) (logical []int8, brokenChains int)
 			brokenChains++
 		}
 	}
-	return logical, brokenChains
+	return brokenChains
 }
 
 // EmbedSpins maps a logical spin configuration to the physical qubits

@@ -1,0 +1,239 @@
+package qubo
+
+import "math"
+
+// CSR is a compressed-sparse-row view of an Ising problem: the adjacency
+// lists flattened into three parallel arrays so the annealer's sweep loops
+// walk contiguous memory instead of chasing []Coupling slice headers. It
+// is compiled once per batch (NewCSR) and shared read-only across every
+// read; per-read coefficient noise (ICE, calibration drift) works on a
+// CloneCoeffs copy that shares the immutable topology arrays.
+//
+// Rows are sorted by column, and each undirected coupling appears twice
+// (once per endpoint); Mirror links the two halves so symmetric weight
+// updates stay O(1) per edge.
+type CSR struct {
+	N      int
+	Offset float64
+	// H is the linear field per spin.
+	H []float64
+	// Offsets[i] .. Offsets[i+1] delimit row i in Cols/W.
+	Offsets []int32
+	// Cols[k] is the neighbor spin of entry k; W[k] its coupling J.
+	Cols []int32
+	W    []float64
+	// Mirror[k] is the index of entry k's reverse direction — the entry
+	// (Cols[k], i) for k in row i — so a symmetric update writes both
+	// halves without searching.
+	Mirror []int32
+}
+
+// NewCSR compiles the adjacency-list problem into its CSR view. The input
+// is not retained; later mutations of is are not reflected.
+func NewCSR(is *Ising) *CSR {
+	n := is.N
+	c := &CSR{
+		N:       n,
+		Offset:  is.Offset,
+		H:       append([]float64(nil), is.H...),
+		Offsets: make([]int32, n+1),
+	}
+	total := 0
+	for _, adj := range is.Adj {
+		total += len(adj)
+	}
+	c.Cols = make([]int32, total)
+	c.W = make([]float64, total)
+	c.Mirror = make([]int32, total)
+	pos := 0
+	for i := 0; i < n; i++ {
+		c.Offsets[i] = int32(pos)
+		row := is.Adj[i]
+		for _, cp := range row {
+			c.Cols[pos] = int32(cp.To)
+			c.W[pos] = cp.J
+			pos++
+		}
+		// Sort the row by column so neighbor iteration is deterministic
+		// regardless of insertion order and mirrors are binary-searchable.
+		// Insertion sort: rows are short, usually already sorted (edges
+		// are inserted in ascending order), and sort.Sort's interface
+		// value would allocate once per row.
+		lo := int(c.Offsets[i])
+		sortRow(c.Cols[lo:pos], c.W[lo:pos])
+	}
+	c.Offsets[n] = int32(pos)
+	for i := 0; i < n; i++ {
+		for k := c.Offsets[i]; k < c.Offsets[i+1]; k++ {
+			c.Mirror[k] = c.find(int(c.Cols[k]), int32(i))
+		}
+	}
+	return c
+}
+
+// sortRow sorts a row's columns and weights in lockstep by column.
+// Columns within a row are distinct, so any comparison sort yields the
+// same result.
+func sortRow(cols []int32, w []float64) {
+	for i := 1; i < len(cols); i++ {
+		ci, wi := cols[i], w[i]
+		j := i
+		for j > 0 && cols[j-1] > ci {
+			cols[j], w[j] = cols[j-1], w[j-1]
+			j--
+		}
+		cols[j], w[j] = ci, wi
+	}
+}
+
+// find binary-searches row i for column col; the adjacency symmetry
+// invariant guarantees presence for mirror lookups.
+func (c *CSR) find(i int, col int32) int32 {
+	lo, hi := c.Offsets[i], c.Offsets[i+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.Cols[mid] < col {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= c.Offsets[i+1] || c.Cols[lo] != col {
+		panic("qubo: CSR mirror entry missing; adjacency was asymmetric")
+	}
+	return lo
+}
+
+// Degree returns the number of neighbors of spin i.
+func (c *CSR) Degree(i int) int { return int(c.Offsets[i+1] - c.Offsets[i]) }
+
+// Row returns spin i's neighbor columns and weights, sorted by column.
+// The slices alias the CSR's storage and must not be mutated.
+func (c *CSR) Row(i int) ([]int32, []float64) {
+	lo, hi := c.Offsets[i], c.Offsets[i+1]
+	return c.Cols[lo:hi], c.W[lo:hi]
+}
+
+// Normalize scales H, W, and Offset in place so max(|h|, |J|) = 1 (the
+// device coefficient range), returning the scale factor applied. It
+// matches Ising.Normalized followed by NewCSR — same maximum, same
+// multiplications — without cloning the adjacency lists.
+func (c *CSR) Normalize() float64 {
+	var m float64
+	for _, h := range c.H {
+		if a := math.Abs(h); a > m {
+			m = a
+		}
+	}
+	for _, w := range c.W {
+		if a := math.Abs(w); a > m {
+			m = a
+		}
+	}
+	if m == 0 {
+		return 1
+	}
+	inv := 1 / m
+	for i := range c.H {
+		c.H[i] *= inv
+	}
+	for i := range c.W {
+		c.W[i] *= inv
+	}
+	c.Offset *= inv
+	return inv
+}
+
+// CloneCoeffs returns a copy sharing the immutable topology arrays
+// (Offsets, Cols, Mirror) with fresh H/W/Offset storage — the per-read
+// programmable surface for coefficient noise.
+func (c *CSR) CloneCoeffs() *CSR {
+	out := *c
+	out.H = append([]float64(nil), c.H...)
+	out.W = append([]float64(nil), c.W...)
+	return &out
+}
+
+// CopyCoeffsFrom resets the coefficients to src's (same topology assumed),
+// reusing the receiver's storage — how pooled clones are re-programmed.
+func (c *CSR) CopyCoeffsFrom(src *CSR) {
+	copy(c.H, src.H)
+	copy(c.W, src.W)
+	c.Offset = src.Offset
+}
+
+// Energy evaluates E(s) for spins in {−1,+1}, counting each undirected
+// coupling once.
+func (c *CSR) Energy(spins []int8) float64 {
+	if len(spins) != c.N {
+		panic("qubo: Energy with wrong-length spin assignment")
+	}
+	e := c.Offset
+	cols, w := c.Cols, c.W
+	for i := 0; i < c.N; i++ {
+		si := float64(spins[i])
+		e += c.H[i] * si
+		for k := c.Offsets[i]; k < c.Offsets[i+1]; k++ {
+			if int(cols[k]) > i {
+				e += w[k] * si * float64(spins[cols[k]])
+			}
+		}
+	}
+	return e
+}
+
+// LocalField returns f_i = h_i + Σ_j J_ij·s_j, the effective field on
+// spin i.
+func (c *CSR) LocalField(spins []int8, i int) float64 {
+	f := c.H[i]
+	cols, w := c.Cols, c.W
+	for k := c.Offsets[i]; k < c.Offsets[i+1]; k++ {
+		f += w[k] * float64(spins[cols[k]])
+	}
+	return f
+}
+
+// Quench relaxes spins in place to a 1-flip local minimum by steepest
+// descent — the same pick order as SteepestDescent, without its per-call
+// allocations. field must have length N; it is used as scratch and holds
+// the final local fields on return.
+func (c *CSR) Quench(spins []int8, field []float64) {
+	if len(spins) != c.N || len(field) != c.N {
+		panic("qubo: Quench with wrong-length buffers")
+	}
+	for i := range field {
+		field[i] = c.LocalField(spins, i)
+	}
+	cols, w := c.Cols, c.W
+	for {
+		bestI, bestDelta := -1, 0.0
+		for i := 0; i < c.N; i++ {
+			delta := -2 * float64(spins[i]) * field[i]
+			if delta < bestDelta-1e-15 {
+				bestDelta, bestI = delta, i
+			}
+		}
+		if bestI < 0 {
+			return
+		}
+		spins[bestI] = -spins[bestI]
+		ds := float64(spins[bestI])
+		for k := c.Offsets[bestI]; k < c.Offsets[bestI+1]; k++ {
+			field[cols[k]] += 2 * w[k] * ds
+		}
+	}
+}
+
+// ToIsing converts back to the adjacency-list form (used by tests and
+// tooling; the annealer never needs it on the hot path).
+func (c *CSR) ToIsing() *Ising {
+	out := NewIsing(c.N)
+	copy(out.H, c.H)
+	out.Offset = c.Offset
+	for i := 0; i < c.N; i++ {
+		for k := c.Offsets[i]; k < c.Offsets[i+1]; k++ {
+			out.Adj[i] = append(out.Adj[i], Coupling{To: int(c.Cols[k]), J: c.W[k]})
+		}
+	}
+	return out
+}

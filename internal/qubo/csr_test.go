@@ -1,0 +1,218 @@
+package qubo_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chimera"
+	"repro/internal/qubo"
+	"repro/internal/rng"
+)
+
+// The CSR view is the annealer's hot-path representation; these tests pin
+// it to the adjacency-list representation it is compiled from.
+
+func randomDenseIsing(r *rng.Source, n int, density float64) *qubo.Ising {
+	is := qubo.NewIsing(n)
+	for i := 0; i < n; i++ {
+		is.H[i] = 2*r.Float64() - 1
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < density {
+				is.SetCoupling(i, j, 2*r.Float64()-1)
+			}
+		}
+	}
+	return is
+}
+
+func randomChimeraIsing(r *rng.Source, m int) *qubo.Ising {
+	g := chimera.NewGraph(m)
+	is := qubo.NewIsing(g.NumQubits())
+	for i := 0; i < is.N; i++ {
+		is.H[i] = 2*r.Float64() - 1
+		for _, j := range g.Neighbors(i) {
+			if j > i {
+				is.SetCoupling(i, j, 2*r.Float64()-1)
+			}
+		}
+	}
+	return is
+}
+
+func randomSpins(r *rng.Source, n int) []int8 {
+	s := make([]int8, n)
+	for i := range s {
+		s[i] = r.Spin()
+	}
+	return s
+}
+
+// checkCSRAgainstAdjacency asserts every CSR accessor agrees with the
+// adjacency-list form: energies, local fields, neighbor iteration
+// (sorted, complete, correct weights), and mirror indices.
+func checkCSRAgainstAdjacency(t *testing.T, is *qubo.Ising, r *rng.Source) {
+	t.Helper()
+	c := qubo.NewCSR(is)
+	if c.N != is.N {
+		t.Fatalf("CSR.N = %d, want %d", c.N, is.N)
+	}
+	for probe := 0; probe < 8; probe++ {
+		s := randomSpins(r, is.N)
+		a, b := is.Energy(s), c.Energy(s)
+		if math.Abs(a-b) > 1e-9*(1+math.Abs(a)) {
+			t.Fatalf("Energy mismatch: adjacency %v, CSR %v", a, b)
+		}
+		for i := 0; i < is.N; i++ {
+			fa, fb := is.LocalField(s, i), c.LocalField(s, i)
+			if math.Abs(fa-fb) > 1e-9*(1+math.Abs(fa)) {
+				t.Fatalf("LocalField(%d) mismatch: adjacency %v, CSR %v", i, fa, fb)
+			}
+		}
+	}
+	for i := 0; i < is.N; i++ {
+		cols, w := c.Row(i)
+		if len(cols) != len(is.Adj[i]) || c.Degree(i) != len(is.Adj[i]) {
+			t.Fatalf("row %d has %d entries, adjacency has %d", i, len(cols), len(is.Adj[i]))
+		}
+		for k, col := range cols {
+			if k > 0 && cols[k-1] >= col {
+				t.Fatalf("row %d not sorted by column: %v", i, cols)
+			}
+			if got := is.Coupling(i, int(col)); got != w[k] {
+				t.Fatalf("row %d col %d weight %v, adjacency %v", i, col, w[k], got)
+			}
+		}
+	}
+	// Mirror links each directed half to its reverse.
+	for i := 0; i < c.N; i++ {
+		for k := c.Offsets[i]; k < c.Offsets[i+1]; k++ {
+			mk := c.Mirror[k]
+			if c.Cols[mk] != int32(i) || c.W[mk] != c.W[k] || c.Mirror[mk] != k {
+				t.Fatalf("mirror broken at row %d entry %d", i, k)
+			}
+		}
+	}
+}
+
+func TestCSRMatchesAdjacencyDense(t *testing.T) {
+	r := rng.New(0xC5A)
+	for _, n := range []int{1, 2, 7, 24} {
+		for _, density := range []float64{0.2, 1.0} {
+			is := randomDenseIsing(r, n, density)
+			checkCSRAgainstAdjacency(t, is, r)
+		}
+	}
+}
+
+func TestCSRMatchesAdjacencyChimera(t *testing.T) {
+	r := rng.New(0xC5B)
+	checkCSRAgainstAdjacency(t, randomChimeraIsing(r, 3), r)
+}
+
+// Deleting an edge via SetCoupling(i, j, 0) must be reflected by a
+// rebuilt CSR: the entry disappears from both rows and all invariants
+// still hold.
+func TestCSRAfterEdgeDeletion(t *testing.T) {
+	r := rng.New(0xDE1)
+	is := randomDenseIsing(r, 12, 0.8)
+	edges := is.Edges()
+	for _, del := range []int{0, len(edges) / 2, len(edges) - 1} {
+		e := edges[del]
+		is.SetCoupling(e.I, e.J, 0)
+	}
+	checkCSRAgainstAdjacency(t, is, r)
+	c := qubo.NewCSR(is)
+	for _, del := range []int{0, len(edges) / 2, len(edges) - 1} {
+		e := edges[del]
+		cols, _ := c.Row(e.I)
+		for _, col := range cols {
+			if int(col) == e.J {
+				t.Fatalf("deleted edge (%d,%d) still present in CSR", e.I, e.J)
+			}
+		}
+	}
+}
+
+// Quench must reproduce SteepestDescent exactly: same pick order, same
+// final spins.
+func TestCSRQuenchMatchesSteepestDescent(t *testing.T) {
+	r := rng.New(0x5DE)
+	for trial := 0; trial < 20; trial++ {
+		is := randomDenseIsing(r, 16, 0.5)
+		c := qubo.NewCSR(is)
+		start := randomSpins(r, is.N)
+		want := qubo.SteepestDescent(is, start)
+		got := append([]int8(nil), start...)
+		field := make([]float64, is.N)
+		c.Quench(got, field)
+		for i := range got {
+			if got[i] != want.Spins[i] {
+				t.Fatalf("trial %d: Quench spins differ from SteepestDescent at %d", trial, i)
+			}
+		}
+	}
+}
+
+// Normalize on the CSR must match normalizing the adjacency form first —
+// identical scale factor, bitwise-identical coefficients.
+func TestCSRNormalizeMatchesIsingNormalized(t *testing.T) {
+	r := rng.New(0x40A)
+	is := randomDenseIsing(r, 10, 0.6)
+	for i := range is.H {
+		is.H[i] *= 3
+	}
+	direct := qubo.NewCSR(is)
+	scale := direct.Normalize()
+	norm, wantScale := is.Normalized()
+	viaIsing := qubo.NewCSR(norm)
+	if scale != wantScale {
+		t.Fatalf("scale %v, want %v", scale, wantScale)
+	}
+	if direct.Offset != viaIsing.Offset {
+		t.Fatalf("offset %v, want %v", direct.Offset, viaIsing.Offset)
+	}
+	for i := range direct.H {
+		if direct.H[i] != viaIsing.H[i] {
+			t.Fatalf("H[%d] = %v, want %v", i, direct.H[i], viaIsing.H[i])
+		}
+	}
+	for k := range direct.W {
+		if direct.W[k] != viaIsing.W[k] {
+			t.Fatalf("W[%d] = %v, want %v", k, direct.W[k], viaIsing.W[k])
+		}
+	}
+}
+
+// ToIsing inverts NewCSR up to coupling-list ordering.
+func TestCSRToIsingRoundTrip(t *testing.T) {
+	r := rng.New(0x707)
+	is := randomDenseIsing(r, 14, 0.4)
+	back := qubo.NewCSR(is).ToIsing()
+	for probe := 0; probe < 8; probe++ {
+		s := randomSpins(r, is.N)
+		a, b := is.Energy(s), back.Energy(s)
+		if math.Abs(a-b) > 1e-9*(1+math.Abs(a)) {
+			t.Fatalf("round-trip energy %v, want %v", b, a)
+		}
+	}
+}
+
+// FuzzCSRAdjacencyEquivalence drives the same invariants from arbitrary
+// seeds, including after a fuzzer-chosen edge deletion.
+func FuzzCSRAdjacencyEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint8(6), uint8(128), uint8(0))
+	f.Add(uint64(42), uint8(20), uint8(255), uint8(7))
+	f.Add(uint64(7), uint8(1), uint8(10), uint8(3))
+	f.Fuzz(func(t *testing.T, seed uint64, sizeByte, densityByte, delByte uint8) {
+		n := 1 + int(sizeByte)%24
+		r := rng.New(seed)
+		is := randomDenseIsing(r, n, float64(densityByte)/255)
+		if edges := is.Edges(); len(edges) > 0 {
+			e := edges[int(delByte)%len(edges)]
+			is.SetCoupling(e.I, e.J, 0)
+		}
+		checkCSRAgainstAdjacency(t, is, r)
+	})
+}

@@ -14,6 +14,7 @@ package rng
 
 import (
 	"math"
+	"math/bits"
 )
 
 // splitMix64 advances a SplitMix64 state and returns the next output.
@@ -73,17 +74,27 @@ func (r *Source) Uint64() uint64 {
 // stable: the child for a given (parent seed, key) never changes when other
 // consumers are added.
 func (r *Source) Split(key uint64) *Source {
+	var c Source
+	r.SplitInto(&c, key)
+	return &c
+}
+
+// SplitInto derives the child keyed by key into dst, overwriting dst's
+// state entirely (including the Gaussian spare). It is Split without the
+// allocation, for hot paths that derive one short-lived stream per work
+// item; dst must not be in concurrent use.
+func (r *Source) SplitInto(dst *Source, key uint64) {
 	// Mix the parent's state with the key through SplitMix64 so child
 	// streams decorrelate from the parent and from each other.
 	sm := r.s[0] ^ rotl(r.s[1], 13) ^ rotl(r.s[2], 29) ^ rotl(r.s[3], 41) ^ (key * 0xd1342543de82ef95)
-	var c Source
-	for i := range c.s {
-		c.s[i] = splitMix64(&sm)
+	for i := range dst.s {
+		dst.s[i] = splitMix64(&sm)
 	}
-	if c.s[0]|c.s[1]|c.s[2]|c.s[3] == 0 {
-		c.s[0] = 1
+	if dst.s[0]|dst.s[1]|dst.s[2]|dst.s[3] == 0 {
+		dst.s[0] = 1
 	}
-	return &c
+	dst.hasSpare = false
+	dst.spare = 0
 }
 
 // SplitString derives an independent child generator keyed by a name.
@@ -91,6 +102,11 @@ func (r *Source) Split(key uint64) *Source {
 // self-describing.
 func (r *Source) SplitString(name string) *Source {
 	return r.Split(hashString(name))
+}
+
+// SplitStringInto is SplitString without the allocation; see SplitInto.
+func (r *Source) SplitStringInto(dst *Source, name string) {
+	r.SplitInto(dst, hashString(name))
 }
 
 // hashString is FNV-1a over the name, sufficient for stream keying.
@@ -112,6 +128,22 @@ func (r *Source) Float64() float64 {
 	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
 }
 
+// State returns the xoshiro256++ core state. Together with SetState it
+// lets a hot loop advance the generator in local variables — the method
+// calls above keep the state in memory and are too large to inline — by
+// applying the documented xoshiro256++ step inline, while remaining
+// bit-identical to drawing through the Source directly. The Gaussian
+// spare cache is not part of the core state; NormFloat64 draws must go
+// through the Source.
+func (r *Source) State() (s0, s1, s2, s3 uint64) {
+	return r.s[0], r.s[1], r.s[2], r.s[3]
+}
+
+// SetState stores a core state advanced externally; see State.
+func (r *Source) SetState(s0, s1, s2, s3 uint64) {
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+}
+
 // Intn returns a uniform value in [0, n). It panics if n <= 0.
 func (r *Source) Intn(n int) int {
 	if n <= 0 {
@@ -128,22 +160,11 @@ func (r *Source) Intn(n int) int {
 	}
 }
 
-// mul64 returns the 128-bit product of a and b as (hi, lo).
+// mul64 returns the 128-bit product of a and b as (hi, lo). bits.Mul64
+// compiles to a single wide-multiply instruction on 64-bit targets, which
+// matters because Intn sits inside every Monte-Carlo proposal.
 func mul64(a, b uint64) (hi, lo uint64) {
-	const mask = 0xffffffff
-	aLo, aHi := a&mask, a>>32
-	bLo, bHi := b&mask, b>>32
-	t := aLo * bLo
-	lo = t & mask
-	c := t >> 32
-	t = aHi*bLo + c
-	mid := t & mask
-	hi = t >> 32
-	t = aLo*bHi + mid
-	lo |= (t & mask) << 32
-	hi += t >> 32
-	hi += aHi * bHi
-	return hi, lo
+	return bits.Mul64(a, b)
 }
 
 // Bool returns a uniform random boolean.
