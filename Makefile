@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz-smoke fmt
+.PHONY: check vet build test race race-fleet fuzz-smoke fmt
 
-check: vet build test race fuzz-smoke
+check: vet build test race race-fleet fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +18,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The fleet scheduler's determinism and stress suites are the lock on the
+# multi-QPU serving path; run them race-enabled and uncached every time.
+race-fleet:
+	$(GO) test -race -count=1 ./internal/fleet/
 
 # Run every fuzz target's seed corpus (no open-ended fuzzing): catches
 # regressions on the known-interesting inputs in CI time.

@@ -26,7 +26,14 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/telemetry"
+)
+
+// Fleet-figure knobs, shared with runFigure.
+var (
+	fleetDevices int
+	fleetPolicy  string
 )
 
 func main() {
@@ -34,12 +41,14 @@ func main() {
 	log.RegisterVerbosity()
 	tel := cli.RegisterTelemetry()
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 2|3|4|6|7|8|headline|ablation-*|ber|hardness|qaoa|capacity|availability|all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 2|3|4|6|7|8|headline|ablation-*|ber|hardness|qaoa|capacity|availability|fleet|all")
 		scale     = flag.String("scale", "quick", "effort: quick|full")
 		out       = flag.String("out", "", "directory for per-figure output files (default stdout)")
 		seed      = flag.Uint64("seed", 0, "override experiment seed (0 = default)")
 		benchJSON = flag.String("bench-json", "", "directory for machine-readable BENCH_*.json records")
 	)
+	flag.IntVar(&fleetDevices, "fleet-devices", 8, "largest QPU pool the fleet figure scales to")
+	flag.StringVar(&fleetPolicy, "fleet-policy", "least-loaded", "fleet scheduling policy: least-loaded|round-robin|edf")
 	flag.Parse()
 	if err := tel.Start("experiments", log); err != nil {
 		log.Fatalf("%v", err)
@@ -59,7 +68,7 @@ func main() {
 
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {
-		figs = []string{"2", "3", "4", "6", "7", "8", "headline", "ablation-modules", "ablation-device", "ablation-gsorder", "ber", "hardness", "qaoa", "capacity", "availability"}
+		figs = []string{"2", "3", "4", "6", "7", "8", "headline", "ablation-modules", "ablation-device", "ablation-gsorder", "ber", "hardness", "qaoa", "capacity", "availability", "fleet"}
 	}
 	for _, f := range figs {
 		if err := runFigure(strings.TrimSpace(f), cfg, *out, *benchJSON, log); err != nil {
@@ -111,6 +120,13 @@ func runFigure(fig string, cfg experiments.Config, outDir, benchDir string, log 
 		res, err = experiments.RunCapacity(cfg)
 	case "availability":
 		res, err = experiments.RunAvailability(cfg)
+	case "fleet":
+		var pol fleet.Policy
+		pol, err = fleet.ParsePolicy(fleetPolicy)
+		if err != nil {
+			return err
+		}
+		res, err = experiments.RunFleetScaling(cfg, fleetDevices, pol)
 	default:
 		return fmt.Errorf("unknown figure %q (2|3|4|6|7|8|headline|ablation-modules|ablation-device|ablation-gsorder)", fig)
 	}

@@ -14,14 +14,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 
 	"repro/internal/annealer"
 	"repro/internal/channel"
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/instance"
 	"repro/internal/metrics"
 	"repro/internal/mimo"
@@ -52,6 +55,8 @@ func main() {
 		faultDrift   = flag.Float64("fault-drift", 0, "per-read calibration-drift probability")
 		fallback     = flag.Bool("fallback", false, "answer with the classical candidate when the quantum stage faults (gs+ra/zf+ra/random+ra)")
 		probe        = flag.Bool("probe", false, "record sweep-level engine observations into -trace-out/-metrics-out")
+		fleetDevices = flag.Int("fleet-devices", 0, "serve the instance through a simulated multi-QPU fleet of this size (0 = direct solve)")
+		fleetPolicy  = flag.String("fleet-policy", "least-loaded", "fleet scheduling policy: least-loaded|round-robin|edf")
 		progMicros   = flag.Float64("prog-us", 10_000, "programming overhead μs used to lay out trace spans (telemetry only)")
 		readoutUs    = flag.Float64("readout-us", 123, "per-read readout μs used to lay out trace spans (telemetry only)")
 	)
@@ -102,6 +107,16 @@ func main() {
 	}
 	r := rng.New(*seed ^ 0xABCDEF)
 
+	if *fleetDevices > 0 {
+		if err := serveFleet(inst, *fleetDevices, *fleetPolicy, *reads, *seed, tel, r); err != nil {
+			log.Fatalf("fleet: %v", err)
+		}
+		if err := tel.Flush(log); err != nil {
+			log.Fatalf("telemetry: %v", err)
+		}
+		return
+	}
+
 	if *sweep {
 		best, init, err := core.OptimizeSp(inst.Reduction, nil, inst.GroundEnergy, *reads, cfg, r)
 		if err != nil {
@@ -140,6 +155,51 @@ func main() {
 	if err := tel.Flush(log); err != nil {
 		log.Fatalf("telemetry: %v", err)
 	}
+}
+
+// serveFleet demos the multi-QPU serving path: the synthesized channel
+// use is replayed as several concurrent detection streams against a
+// heterogeneous simulated fleet, and the scheduler's report (throughput,
+// batching, per-device utilization) is printed instead of a single solve.
+func serveFleet(inst *instance.Instance, devices int, policy string, reads int, seed uint64, tel *cli.Telemetry, r *rng.Source) error {
+	pol, err := fleet.ParsePolicy(policy)
+	if err != nil {
+		return err
+	}
+	const streams, perStream = 4, 4
+	var reqs []fleet.Request
+	for s := 0; s < streams; s++ {
+		for q := 0; q < perStream; q++ {
+			init, err := core.GreedyModule{}.Initialize(inst.Reduction, r.Split(uint64(s*perStream+q)))
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, fleet.Request{
+				Stream: s, Seq: q,
+				Arrival:      float64(q) * 100,
+				Problem:      inst.Reduction.Ising,
+				InitialState: init,
+			})
+		}
+	}
+	out, err := fleet.Serve(context.Background(), fleet.Config{
+		Devices:  fleet.DefaultDevices(devices),
+		Policy:   pol,
+		NumReads: reads,
+		Seed:     seed,
+		Trace:    tel.Tracer,
+		Metrics:  tel.Registry,
+	}, reqs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fleet: %d devices serving %d streams × %d frames\n", devices, streams, perStream)
+	bySource := map[string]int{}
+	for _, o := range out.Outcomes {
+		bySource[o.Source.String()]++
+	}
+	fmt.Printf("answers: %v\n\n", bySource)
+	return out.Report.WriteTable(os.Stdout)
 }
 
 func solve(name string, inst *instance.Instance, cfg core.AnnealConfig, reads int, sp float64, fallback bool, r *rng.Source) ([]complex128, string, error) {

@@ -50,7 +50,11 @@ func main() {
 	}
 	p := &pipeline.Pipeline{Stages: stages, BufferSize: 1}
 
-	processed, err := p.Run(pipeline.GenerateFrames(insts, arrivalMicros, deadlineMicros))
+	fr, err := pipeline.GenerateFrames(insts, arrivalMicros, deadlineMicros)
+	if err != nil {
+		log.Fatal(err)
+	}
+	processed, err := p.Run(fr)
 	if err != nil {
 		log.Fatal(err)
 	}

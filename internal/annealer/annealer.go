@@ -187,11 +187,18 @@ func newBatch(p Params, base *qubo.CSR) (*batch, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newPreparedBatch(p, base, read), nil
+}
+
+// newPreparedBatch builds a batch around an ALREADY compiled ReadFunc —
+// the amortization a Lease provides: Engine.Prepare runs once per lease,
+// not once per problem.
+func newPreparedBatch(p Params, base *qubo.CSR, read ReadFunc) *batch {
 	b := &batch{p: p, base: base, read: read}
 	b.pool.New = func() any {
 		return &readScratch{field: make([]float64, base.N)}
 	}
-	return b, nil
+	return b
 }
 
 // program returns the problem read should run against: the shared base
@@ -266,6 +273,14 @@ func Run(is *qubo.Ising, p Params, r *rng.Source) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return runLogical(is, p, nil, r)
+}
+
+// runLogical is the shared logical-problem body behind Run and
+// Lease.Run: pre-flight checks, the programming-fault draw, the CSR
+// compile, and the read loop. A non-nil read skips Engine.Prepare (the
+// lease compiled it already); p must have passed withDefaults.
+func runLogical(is *qubo.Ising, p Params, read ReadFunc, r *rng.Source) (*Result, error) {
 	if is.N == 0 {
 		return nil, fmt.Errorf("annealer: empty problem")
 	}
@@ -274,15 +289,21 @@ func Run(is *qubo.Ising, p Params, r *rng.Source) (*Result, error) {
 	}
 	// Batch-level fault: the device rejects the programming cycle. Drawn
 	// from a dedicated split so the per-read streams below are untouched.
-	if p.Faults.programmingFails(r.SplitString("fault/programming")) {
+	if p.Faults.ProgrammingFails(r.SplitString("fault/programming")) {
 		p.emitHardFault(FaultProgramming)
 		return nil, &FaultError{Kind: FaultProgramming}
 	}
 	pr := qubo.NewCSR(is)
 	pr.Normalize()
-	b, err := newBatch(p, pr)
-	if err != nil {
-		return nil, err
+	var b *batch
+	if read != nil {
+		b = newPreparedBatch(p, pr, read)
+	} else {
+		var err error
+		b, err = newBatch(p, pr)
+		if err != nil {
+			return nil, err
+		}
 	}
 	res := &Result{ScheduleDuration: p.Schedule.Duration()}
 	samples := make([]qubo.Sample, p.NumReads)
@@ -395,6 +416,15 @@ func (q *QPU) Run(logical *qubo.Ising, p Params, r *rng.Source) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
+	return q.runEmbedded(logical, p, nil, r)
+}
+
+// runEmbedded is the shared embedded-problem body behind QPU.Run and
+// Lease.Run: embedding, pre-flight checks, the programming-fault draw,
+// and the physical read loop with per-read unembedding. A non-nil read
+// skips Engine.Prepare (the lease compiled it already); p must have
+// passed withDefaults.
+func (q *QPU) runEmbedded(logical *qubo.Ising, p Params, read ReadFunc, r *rng.Source) (*Result, error) {
 	if logical.N > q.MaxProblemSize() {
 		return nil, fmt.Errorf("annealer: %d variables exceed QPU clique capacity %d", logical.N, q.MaxProblemSize())
 	}
@@ -426,15 +456,20 @@ func (q *QPU) Run(logical *qubo.Ising, p Params, r *rng.Source) (*Result, error)
 	if p.Timing == nil {
 		p.Timing = &DeviceTiming{ProgrammingMicros: q.ProgrammingTime, ReadoutMicros: q.ReadoutTime}
 	}
-	if p.Faults.programmingFails(r.SplitString("fault/programming")) {
+	if p.Faults.ProgrammingFails(r.SplitString("fault/programming")) {
 		p.emitHardFault(FaultProgramming)
 		return nil, &FaultError{Kind: FaultProgramming}
 	}
 	prPhys := qubo.NewCSR(phys)
 	prPhys.Normalize()
-	b, err := newBatch(p, prPhys)
-	if err != nil {
-		return nil, err
+	var b *batch
+	if read != nil {
+		b = newPreparedBatch(p, prPhys, read)
+	} else {
+		b, err = newBatch(p, prPhys)
+		if err != nil {
+			return nil, err
+		}
 	}
 	res := &Result{ScheduleDuration: p.Schedule.Duration()}
 	samples := make([]qubo.Sample, p.NumReads)

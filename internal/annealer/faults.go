@@ -70,9 +70,22 @@ func (fm FaultModel) Validate() error {
 	return nil
 }
 
-// programmingFails decides one batch-level programming failure.
-func (fm FaultModel) programmingFails(r *rng.Source) bool {
+// ProgrammingFails decides one batch-level programming failure. It is
+// exported so serving layers (internal/fleet) can pre-draw a batch's
+// fate when planning dispatch timing: Run and QPU.Run draw from the same
+// "fault/programming" split of the batch's root stream, so a plan and
+// its execution always agree. A zero rate consumes no draw.
+func (fm FaultModel) ProgrammingFails(r *rng.Source) bool {
 	return fm.ProgrammingFailureRate > 0 && r.Float64() < fm.ProgrammingFailureRate
+}
+
+// WithoutProgrammingFailures returns the model with the batch-level
+// programming-failure class disabled, leaving per-read classes intact —
+// for callers (a fleet dispatcher) that own the programming-cycle draw
+// themselves and must not have the execution layer re-draw it.
+func (fm FaultModel) WithoutProgrammingFailures() FaultModel {
+	fm.ProgrammingFailureRate = 0
+	return fm
 }
 
 // readTimesOut decides one read's timeout from the read's fault stream.

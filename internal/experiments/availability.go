@@ -89,7 +89,10 @@ func RunAvailability(cfg Config) (*AvailabilityResult, error) {
 				Trace:         cfg.Trace,
 			},
 		}, Trace: cfg.Trace, Metrics: cfg.Metrics}
-		fr := pipeline.GenerateFrames(insts, intervalMicros, deadlineMicros)
+		fr, err := pipeline.GenerateFrames(insts, intervalMicros, deadlineMicros)
+		if err != nil {
+			return nil, err
+		}
 		processed, err := p.Run(fr)
 		if err != nil {
 			return nil, err

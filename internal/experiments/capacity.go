@@ -64,8 +64,11 @@ func RunCapacity(cfg Config) (*CapacityResult, error) {
 		}
 		p := &pipeline.Pipeline{Stages: stages, Replicas: []int{1, qpus},
 			Trace: cfg.Trace, Metrics: cfg.Metrics}
-		fr := pipeline.GenerateFramesPoisson(insts, meanArrival, deadlineMicros,
+		fr, err := pipeline.GenerateFramesPoisson(insts, meanArrival, deadlineMicros,
 			rng.New(cfg.Seed^0xA881)) // same arrival draw for every pool size
+		if err != nil {
+			return nil, err
+		}
 		processed, err := p.Run(fr)
 		if err != nil {
 			return nil, err

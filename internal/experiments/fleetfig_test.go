@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+// TestFleetScalingSpeedup gates the acceptance criterion: on the 8-user
+// 16-QAM serving workload, four devices must deliver at least 3× the
+// single-device throughput, and speedup must grow monotonically with the
+// pool.
+func TestFleetScalingSpeedup(t *testing.T) {
+	res, err := RunFleetScaling(Quick(), 4, fleet.PolicyLeastLoaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows for pools %v, want 1/2/4", res.Rows)
+	}
+	prev := 0.0
+	for _, row := range res.Rows {
+		if row.Shed != 0 {
+			t.Fatalf("%d devices shed %d frames on the reference workload", row.Devices, row.Shed)
+		}
+		if row.ThroughputPerSecond <= prev {
+			t.Fatalf("throughput not monotone: %d devices at %.1f fps after %.1f",
+				row.Devices, row.ThroughputPerSecond, prev)
+		}
+		prev = row.ThroughputPerSecond
+	}
+	last := res.Rows[len(res.Rows)-1]
+	if last.Devices != 4 || last.Speedup < 3 {
+		t.Fatalf("4-device speedup %.2f×, want ≥ 3×", last.Speedup)
+	}
+
+	var buf bytes.Buffer
+	res.WriteTable(&buf)
+	for _, want := range []string{"Fleet scaling", "devices", "speedup"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, buf.String())
+		}
+	}
+}

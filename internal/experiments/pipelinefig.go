@@ -57,7 +57,10 @@ func PipelineFigure(cfg Config, frames int) (*PipelineResult, error) {
 
 	// Pipelined: both stages overlap across frames.
 	pl := &pipeline.Pipeline{Stages: build(), Trace: cfg.Trace, Metrics: cfg.Metrics}
-	fr := pipeline.GenerateFrames(insts, 0, 0)
+	fr, err := pipeline.GenerateFrames(insts, 0, 0)
+	if err != nil {
+		return nil, err
+	}
 	processed, err := pl.Run(fr)
 	if err != nil {
 		return nil, err
@@ -85,7 +88,10 @@ func PipelineFigure(cfg Config, frames int) (*PipelineResult, error) {
 	}
 	serialStage := &replayStage{name: "serial", micros: serialTimes}
 	sp := &pipeline.Pipeline{Stages: []pipeline.Stage{serialStage}}
-	sfr := pipeline.GenerateFrames(insts, 0, 0)
+	sfr, err := pipeline.GenerateFrames(insts, 0, 0)
+	if err != nil {
+		return nil, err
+	}
 	sprocessed, err := sp.Run(sfr)
 	if err != nil {
 		return nil, err

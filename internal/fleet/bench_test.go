@@ -1,0 +1,111 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/modulation"
+	"repro/internal/qubo"
+	"repro/internal/telemetry"
+)
+
+// benchRequests is the paper's reference workload at serving scale: 8
+// concurrent streams of 8-user 16-QAM frames (32 logical spins each)
+// arriving much faster than one device can drain them, so every stream
+// carries a backlog (continuation-filled batches) and added devices
+// translate into throughput.
+func benchRequests(b *testing.B, frames int) []Request {
+	b.Helper()
+	var probs []*qubo.Ising
+	for seed := uint64(1); seed <= 4; seed++ {
+		in, err := instance.Synthesize(instance.Spec{Users: 8, Scheme: modulation.QAM16, Seed: seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		probs = append(probs, in.Reduction.Ising)
+	}
+	const streams = 8
+	var reqs []Request
+	for s := 0; s < streams; s++ {
+		for q := 0; q < frames/streams; q++ {
+			p := probs[(s+q)%len(probs)]
+			init := make([]int8, p.N)
+			for i := range init {
+				init[i] = 1
+			}
+			reqs = append(reqs, Request{
+				Stream: s, Seq: q,
+				Arrival:      float64(q) * 100,
+				Problem:      p,
+				InitialState: init,
+			})
+		}
+	}
+	return reqs
+}
+
+// benchFleetConfig is the Config payload of a fleet benchmark's
+// BENCH_*.json record.
+type benchFleetConfig struct {
+	Devices          int     `json:"devices"`
+	Frames           int     `json:"frames"`
+	Reads            int     `json:"reads"`
+	FramesPerSecond  float64 `json:"frames_per_sec_simulated"`
+	P99QueueMicros   float64 `json:"p99_queue_us"`
+	P99LatencyMicros float64 `json:"p99_latency_us"`
+	MeanBatchSize    float64 `json:"mean_batch_size"`
+}
+
+func benchmarkFleetServe(b *testing.B, devices int) {
+	reqs := benchRequests(b, 48)
+	cfg := Config{
+		Devices:          DefaultDevices(devices),
+		NumReads:         60,
+		BatchMax:         4,
+		StreamQueueBound: 64,
+		Seed:             1,
+	}
+	var last *Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Serve(context.Background(), cfg, reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	rep := last.Report
+	b.ReportMetric(rep.ThroughputPerSecond, "frames/sim-s")
+	b.ReportMetric(rep.P99QueueMicros, "p99-queue-µs")
+	if dir := os.Getenv(telemetry.BenchJSONDirEnv); dir != "" {
+		cfgRec := benchFleetConfig{
+			Devices: devices, Frames: len(reqs), Reads: cfg.NumReads,
+			FramesPerSecond: rep.ThroughputPerSecond,
+			P99QueueMicros:  rep.P99QueueMicros, P99LatencyMicros: rep.P99LatencyMicros,
+			MeanBatchSize: rep.MeanBatchSize,
+		}
+		rec := telemetry.BenchRecord{
+			Name:       fmt.Sprintf("FleetServeDevices%d", devices),
+			NsPerOp:    float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+			Iterations: b.N,
+			Config:     cfgRec,
+			Series: fmt.Sprintf("devices=%d frames=%d fps=%.1f p99_queue_us=%.0f p99_latency_us=%.0f batch=%.2f",
+				devices, len(reqs), rep.ThroughputPerSecond, rep.P99QueueMicros, rep.P99LatencyMicros, rep.MeanBatchSize),
+		}
+		if err := telemetry.WriteBenchJSON(dir, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFleetServe(b *testing.B) {
+	for _, devices := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("devices=%d", devices), func(b *testing.B) {
+			benchmarkFleetServe(b, devices)
+		})
+	}
+}

@@ -1,0 +1,36 @@
+package fleet
+
+import "repro/internal/annealer"
+
+// DefaultDevices builds a heterogeneous pool of n simulated 2000Q-class
+// QPUs, the mix the experiments and CLIs serve from: devices alternate
+// between the calibrated and stock hardware profiles, carry slightly
+// different programming/readout overheads and clock rates (no two
+// deployed devices are identical), and the odd devices run with
+// device-typical ICE control error.
+func DefaultDevices(n int) []Device {
+	devs := make([]Device, n)
+	for i := range devs {
+		q := annealer.NewQPU2000Q()
+		// ±10% spread in device overheads and clock rate across the
+		// pool; device 0 is nominal so a single-device fleet is the
+		// unbiased scaling baseline.
+		spread := 1 + 0.1*float64((i+1)%3-1)
+		q.ProgrammingTime *= spread
+		q.ReadoutTime *= spread
+		prof := annealer.CalibratedProfile()
+		if i%2 == 1 {
+			prof = annealer.DWave2000QProfile()
+		}
+		d := Device{
+			QPU:                  q,
+			Profile:              &prof,
+			SweepsPerMicrosecond: 30 * spread,
+		}
+		if i%2 == 1 {
+			d.ICE = annealer.DWave2000QICE()
+		}
+		devs[i] = d
+	}
+	return devs
+}

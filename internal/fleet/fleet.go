@@ -1,0 +1,1026 @@
+// Package fleet is the serving layer the paper's centralized-RAN story
+// needs: one scheduler owning a pool of N heterogeneous simulated QPUs
+// that serves M concurrent detection streams. The scheduler is an
+// event-driven simulation on the same deterministic microsecond clock the
+// annealer and pipeline account in, with per-device work queues, batching
+// of schedule-compatible frames into shared programming cycles (amortizing
+// the 10 ms device programming overhead and the engine's Prepare compile
+// via annealer leases), pluggable dispatch policies, admission control
+// with per-stream queue bounds, and a degradation ladder that sheds
+// overload to the classical fallback instead of failing.
+//
+// Determinism contract: Serve runs in two phases. The PLAN phase is a
+// single-threaded event simulation that fixes every dispatch decision,
+// batch composition, timing figure, shed, trace record, and scheduling
+// metric — timing depends only on modelled service times and pre-drawn
+// programming faults, never on anneal results. The EXECUTE phase then runs
+// the planned anneal batches on Config.Workers goroutines; each frame's
+// RNG stream derives from (Seed, stream, seq, attempt) fixed by the plan,
+// so outcomes and exported traces are bit-identical for any worker count.
+package fleet
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/annealer"
+	"repro/internal/core"
+	"repro/internal/qubo"
+	"repro/internal/rng"
+	"repro/internal/telemetry"
+)
+
+// Shed reasons reported in Outcome.ShedReason and the
+// fleet_shed_total{reason} counter — the rungs of the degradation ladder.
+const (
+	// ShedFleetOverload: fleet-wide admission bound exceeded at arrival.
+	ShedFleetOverload = "fleet-overload"
+	// ShedStreamQueueFull: the frame's stream queue bound exceeded.
+	ShedStreamQueueFull = "stream-queue-full"
+	// ShedDeadlineExpired: the deadline passed before dispatch.
+	ShedDeadlineExpired = "deadline-expired"
+	// ShedRetriesExhausted: every dispatch attempt hit a device fault.
+	ShedRetriesExhausted = "retries-exhausted"
+	// ShedDeviceUnavailable: no device will ever be free again.
+	ShedDeviceUnavailable = "device-unavailable"
+)
+
+// classicalFallbackPerSpin is the modelled μs-per-spin cost of answering a
+// shed frame with the classical candidate, matching
+// pipeline.ClassicalFallback.
+const classicalFallbackPerSpin = 1e-3
+
+// Request is one detection frame submitted to the fleet: a reduced Ising
+// problem plus the classical candidate that seeds reverse annealing.
+type Request struct {
+	// Stream and Seq identify the frame; Seq orders frames within a
+	// stream (per-stream FIFO is defined over Seq). Both must be in
+	// [0, 2^31).
+	Stream, Seq int
+	// Arrival is the simulated-μs arrival time.
+	Arrival float64
+	// Deadline is the latency budget in μs after Arrival (0: none).
+	Deadline float64
+	// Problem is the reduced detection problem.
+	Problem *qubo.Ising
+	// InitialState is the classical candidate (len == Problem.N); it
+	// seeds the reverse anneal and is the shed/fallback answer.
+	InitialState []int8
+	// Sp, Tp override the fleet's reverse-anneal switch point and pause
+	// (0: Config defaults). Frames batch together only when these match.
+	Sp, Tp float64
+	// NumReads overrides the per-frame read count (0: Config default).
+	NumReads int
+}
+
+// Device is one simulated QPU in the pool. The zero value is a valid
+// logical device (no embedding, no programming/readout overheads).
+type Device struct {
+	// QPU, when set, runs frames through Chimera embedding and charges
+	// its programming/readout overheads in the timing model.
+	QPU *annealer.QPU
+	// Engine simulates the quantum dynamics (default annealer.SVMC).
+	Engine annealer.Engine
+	// Profile sets the device energy scales (default DWave2000QProfile).
+	Profile *annealer.Profile
+	// SweepsPerMicrosecond is the device clock rate (default 100).
+	SweepsPerMicrosecond float64
+	// ICE is the device's control-error noise (calibration quality).
+	ICE annealer.ICE
+	// Faults is the device's failure model. ProgrammingFailureRate is
+	// drawn per BATCH by the dispatcher (the whole batch retries);
+	// per-read classes fire inside the anneal as usual.
+	Faults annealer.FaultModel
+	// FailAt, when positive, takes the device down at that simulated μs:
+	// in-flight work completes but nothing new is dispatched to it.
+	FailAt float64
+}
+
+// Config tunes one Serve call.
+type Config struct {
+	// Devices is the pool (required, ≥ 1). Device IDs are positional.
+	Devices []Device
+	// Policy selects the dispatch policy (default PolicyLeastLoaded).
+	Policy Policy
+	// Sp, Tp are the default reverse-anneal switch point and pause μs
+	// (defaults 0.45, 1 — the paper's working point).
+	Sp, Tp float64
+	// NumReads is the default per-frame read count (default 50).
+	NumReads int
+	// BatchMax caps frames per shared programming cycle (default 4).
+	BatchMax int
+	// StreamQueueBound caps each stream's queue; frames arriving beyond
+	// it are shed to the classical fallback (default 16).
+	StreamQueueBound int
+	// FleetQueueBound caps total queued frames fleet-wide (0: unbounded).
+	FleetQueueBound int
+	// MaxAttempts bounds dispatch attempts per frame across device
+	// programming faults before shedding (default 2).
+	MaxAttempts int
+	// Seed roots every RNG stream in the run.
+	Seed uint64
+	// Workers is the execute-phase goroutine count (default
+	// min(GOMAXPROCS, 8)). It cannot affect results.
+	Workers int
+	// Trace and Metrics receive dispatcher telemetry (nil-safe).
+	Trace   *telemetry.Tracer
+	Metrics *telemetry.Registry
+}
+
+// Outcome is one frame's fate: where and when it ran (or why it was
+// shed) and the answer it got.
+type Outcome struct {
+	Stream int `json:"stream"`
+	Seq    int `json:"seq"`
+	// Arrival, Start, Finish are simulated μs; QueueMicros = Start −
+	// Arrival. For shed frames Start is the shed instant and Finish adds
+	// the classical-fallback compute cost.
+	Arrival     float64 `json:"arrival_us"`
+	Start       float64 `json:"start_us"`
+	Finish      float64 `json:"finish_us"`
+	QueueMicros float64 `json:"queue_us"`
+	// Device and Batch locate the serving batch (−1 when shed).
+	Device int `json:"device"`
+	Batch  int `json:"batch"`
+	// Attempts is the number of dispatch attempts consumed (≥ 1 unless
+	// shed before ever dispatching).
+	Attempts int `json:"attempts"`
+	// Shed marks degradation-ladder answers; ShedReason says which rung.
+	Shed       bool   `json:"shed,omitempty"`
+	ShedReason string `json:"shed_reason,omitempty"`
+	// DeadlineMissed reports Finish > Arrival + Deadline (when set).
+	DeadlineMissed bool `json:"deadline_missed,omitempty"`
+	// Source and Best are the answer: quantum, classical-candidate
+	// (candidate beat every sample), or classical-fallback (shed or
+	// device fault).
+	Source core.AnswerSource `json:"source"`
+	Best   qubo.Sample       `json:"best"`
+}
+
+// Result is one Serve call's full output.
+type Result struct {
+	// Outcomes holds one entry per request, ordered by (Stream, Seq).
+	Outcomes []Outcome
+	// Report aggregates scheduling statistics.
+	Report Report
+}
+
+// ValidateRequests checks a request set is servable: problems present,
+// candidates sized, times finite, identities unique and in range, and
+// per-stream arrivals non-decreasing in Seq order.
+func ValidateRequests(reqs []Request) error {
+	seen := make(map[[2]int]int, len(reqs))
+	lastArrival := make(map[int]float64)
+	lastSeq := make(map[int]int)
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := reqs[order[a]], reqs[order[b]]
+		if ra.Stream != rb.Stream {
+			return ra.Stream < rb.Stream
+		}
+		return ra.Seq < rb.Seq
+	})
+	for _, i := range order {
+		r := reqs[i]
+		if r.Stream < 0 || r.Stream >= 1<<31 || r.Seq < 0 || r.Seq >= 1<<31 {
+			return fmt.Errorf("fleet: request %d: stream/seq (%d, %d) out of [0, 2^31)", i, r.Stream, r.Seq)
+		}
+		if j, dup := seen[[2]int{r.Stream, r.Seq}]; dup {
+			return fmt.Errorf("fleet: requests %d and %d duplicate frame (%d, %d)", j, i, r.Stream, r.Seq)
+		}
+		seen[[2]int{r.Stream, r.Seq}] = i
+		if r.Problem == nil || r.Problem.N == 0 {
+			return fmt.Errorf("fleet: request (%d, %d): empty problem", r.Stream, r.Seq)
+		}
+		if len(r.InitialState) != r.Problem.N {
+			return fmt.Errorf("fleet: request (%d, %d): %d-spin candidate for %d-spin problem",
+				r.Stream, r.Seq, len(r.InitialState), r.Problem.N)
+		}
+		if math.IsNaN(r.Arrival) || math.IsInf(r.Arrival, 0) || r.Arrival < 0 {
+			return fmt.Errorf("fleet: request (%d, %d): bad arrival %g", r.Stream, r.Seq, r.Arrival)
+		}
+		if math.IsNaN(r.Deadline) || math.IsInf(r.Deadline, 0) || r.Deadline < 0 {
+			return fmt.Errorf("fleet: request (%d, %d): bad deadline %g", r.Stream, r.Seq, r.Deadline)
+		}
+		if math.IsNaN(r.Sp) || r.Sp < 0 || r.Sp >= 1 {
+			return fmt.Errorf("fleet: request (%d, %d): switch point %g out of (0, 1)", r.Stream, r.Seq, r.Sp)
+		}
+		if math.IsNaN(r.Tp) || math.IsInf(r.Tp, 0) || r.Tp < 0 {
+			return fmt.Errorf("fleet: request (%d, %d): bad pause %g", r.Stream, r.Seq, r.Tp)
+		}
+		if r.NumReads < 0 || r.NumReads > annealer.MaxReads {
+			return fmt.Errorf("fleet: request (%d, %d): bad read count %d", r.Stream, r.Seq, r.NumReads)
+		}
+		if prev, ok := lastArrival[r.Stream]; ok && r.Arrival < prev {
+			return fmt.Errorf("fleet: stream %d: seq %d arrives at %g before seq %d at %g (per-stream arrivals must be non-decreasing in seq order)",
+				r.Stream, r.Seq, r.Arrival, lastSeq[r.Stream], prev)
+		}
+		lastArrival[r.Stream] = r.Arrival
+		lastSeq[r.Stream] = r.Seq
+	}
+	return nil
+}
+
+func (cfg Config) withDefaults() (Config, error) {
+	if len(cfg.Devices) == 0 {
+		return cfg, fmt.Errorf("fleet: no devices")
+	}
+	if !cfg.Policy.valid() {
+		return cfg, fmt.Errorf("fleet: unknown policy %d", int(cfg.Policy))
+	}
+	if cfg.Sp == 0 {
+		cfg.Sp = 0.45
+	}
+	if cfg.Tp == 0 {
+		cfg.Tp = 1
+	}
+	if cfg.Sp <= 0 || cfg.Sp >= 1 || math.IsNaN(cfg.Sp) {
+		return cfg, fmt.Errorf("fleet: switch point %g out of (0, 1)", cfg.Sp)
+	}
+	if cfg.Tp < 0 || math.IsNaN(cfg.Tp) || math.IsInf(cfg.Tp, 0) {
+		return cfg, fmt.Errorf("fleet: bad pause %g", cfg.Tp)
+	}
+	if cfg.NumReads == 0 {
+		cfg.NumReads = 50
+	}
+	if cfg.NumReads < 0 || cfg.NumReads > annealer.MaxReads {
+		return cfg, fmt.Errorf("fleet: bad read count %d", cfg.NumReads)
+	}
+	if cfg.BatchMax == 0 {
+		cfg.BatchMax = 4
+	}
+	if cfg.BatchMax < 1 {
+		return cfg, fmt.Errorf("fleet: batch max %d < 1", cfg.BatchMax)
+	}
+	if cfg.StreamQueueBound == 0 {
+		cfg.StreamQueueBound = 16
+	}
+	if cfg.StreamQueueBound < 1 {
+		return cfg, fmt.Errorf("fleet: stream queue bound %d < 1", cfg.StreamQueueBound)
+	}
+	if cfg.FleetQueueBound < 0 {
+		return cfg, fmt.Errorf("fleet: fleet queue bound %d < 0", cfg.FleetQueueBound)
+	}
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = 2
+	}
+	if cfg.MaxAttempts < 1 {
+		return cfg, fmt.Errorf("fleet: max attempts %d < 1", cfg.MaxAttempts)
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+		if cfg.Workers > 8 {
+			cfg.Workers = 8
+		}
+	}
+	if cfg.Workers < 1 {
+		return cfg, fmt.Errorf("fleet: workers %d < 1", cfg.Workers)
+	}
+	for i, d := range cfg.Devices {
+		if d.SweepsPerMicrosecond < 0 {
+			return cfg, fmt.Errorf("fleet: device %d: negative sweep rate", i)
+		}
+		if err := d.Faults.Validate(); err != nil {
+			return cfg, fmt.Errorf("fleet: device %d: %w", i, err)
+		}
+		if err := d.ICE.Validate(); err != nil {
+			return cfg, fmt.Errorf("fleet: device %d: %w", i, err)
+		}
+		if d.FailAt < 0 || math.IsNaN(d.FailAt) {
+			return cfg, fmt.Errorf("fleet: device %d: bad fail time %g", i, d.FailAt)
+		}
+	}
+	return cfg, nil
+}
+
+// Serve plans and executes one fleet run over a request set. It returns
+// one Outcome per request (ordered by stream, seq); the only errors are
+// invalid inputs, context cancellation, and non-fault execution failures
+// (e.g. a problem too large for a device's Chimera graph) — injected
+// device faults degrade to fallback answers instead.
+func Serve(ctx context.Context, cfg Config, reqs []Request) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := ValidateRequests(reqs); err != nil {
+		return nil, err
+	}
+	pl, err := newPlanner(cfg, reqs)
+	if err != nil {
+		return nil, err
+	}
+	pl.simulate()
+	if err := pl.execute(ctx); err != nil {
+		return nil, err
+	}
+	pl.finishTelemetry()
+	return &Result{Outcomes: pl.outcomes, Report: pl.report()}, nil
+}
+
+// schedKey is the batching-compatibility key: frames share a programming
+// cycle only when their anneal program is identical.
+type schedKey struct{ sp, tp float64 }
+
+// frame is one request's mutable scheduling state.
+type frame struct {
+	req         Request
+	stream      int // dense stream index
+	absDeadline float64
+	attempts    int
+	sp, tp      float64
+	reads       int
+}
+
+// plannedBatch is one shared programming cycle fixed by the plan phase.
+type plannedBatch struct {
+	id            int
+	dev           int
+	key           schedKey
+	start, finish float64
+	faulted       bool
+	frames        []int
+}
+
+// event is one entry in the simulation heap, ordered by
+// (t, kind, a, b): completions (kind 0: a=device, b=batch) before
+// arrivals (kind 1: a=stream, b=seq) at the same instant.
+type event struct {
+	t       float64
+	kind    int
+	a, b    int
+	payload int // frame index for arrivals, batch id for completions
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	if h[i].a != h[j].a {
+		return h[i].a < h[j].a
+	}
+	return h[i].b < h[j].b
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *eventHeap) push(e event) { heap.Push(h, e) }
+func (h *eventHeap) pop() event   { return heap.Pop(h).(event) }
+
+type planner struct {
+	cfg      Config
+	frames   []frame
+	outcomes []Outcome // indexed like frames
+	streams  []int     // dense index → stream id
+
+	events   eventHeap
+	queues   [][]int // per dense stream: queued frame indices, FIFO
+	queued   int
+	inflight []int // per dense stream: batch id or −1
+
+	busyUntil   []float64
+	busy        []float64 // cumulative busy μs per device
+	devBatch    []int     // per-device programming-cycle counter (RNG key)
+	downEmitted []bool
+
+	batches  []plannedBatch
+	rrStream int
+	rrDevice int
+	clock    float64
+
+	schedules map[schedKey]*annealer.Schedule
+	leases    map[leaseKey]*annealer.Lease
+
+	retries int
+}
+
+type leaseKey struct {
+	dev int
+	key schedKey
+}
+
+func newPlanner(cfg Config, reqs []Request) (*planner, error) {
+	pl := &planner{
+		cfg:       cfg,
+		schedules: make(map[schedKey]*annealer.Schedule),
+		leases:    make(map[leaseKey]*annealer.Lease),
+	}
+	// Dense stream indices in ascending stream-id order keep every
+	// policy's tiebreaks independent of request-slice order.
+	ids := map[int]bool{}
+	for _, r := range reqs {
+		ids[r.Stream] = true
+	}
+	for id := range ids {
+		pl.streams = append(pl.streams, id)
+	}
+	sort.Ints(pl.streams)
+	dense := make(map[int]int, len(pl.streams))
+	for i, id := range pl.streams {
+		dense[id] = i
+	}
+
+	pl.frames = make([]frame, 0, len(reqs))
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := reqs[order[a]], reqs[order[b]]
+		if ra.Stream != rb.Stream {
+			return ra.Stream < rb.Stream
+		}
+		return ra.Seq < rb.Seq
+	})
+	for _, i := range order {
+		r := reqs[i]
+		f := frame{req: r, stream: dense[r.Stream], sp: r.Sp, tp: r.Tp, reads: r.NumReads}
+		if f.sp == 0 {
+			f.sp = cfg.Sp
+		}
+		if f.tp == 0 {
+			f.tp = cfg.Tp
+		}
+		if f.reads == 0 {
+			f.reads = cfg.NumReads
+		}
+		f.absDeadline = math.Inf(1)
+		if r.Deadline > 0 {
+			f.absDeadline = r.Arrival + r.Deadline
+		}
+		if _, err := pl.schedule(schedKey{f.sp, f.tp}); err != nil {
+			return nil, err
+		}
+		pl.frames = append(pl.frames, f)
+	}
+	pl.outcomes = make([]Outcome, len(pl.frames))
+	for i := range pl.outcomes {
+		f := &pl.frames[i]
+		pl.outcomes[i] = Outcome{Stream: f.req.Stream, Seq: f.req.Seq, Arrival: f.req.Arrival, Device: -1, Batch: -1}
+	}
+
+	n := len(pl.streams)
+	pl.queues = make([][]int, n)
+	pl.inflight = make([]int, n)
+	for i := range pl.inflight {
+		pl.inflight[i] = -1
+	}
+	d := len(cfg.Devices)
+	pl.busyUntil = make([]float64, d)
+	pl.busy = make([]float64, d)
+	pl.devBatch = make([]int, d)
+	pl.downEmitted = make([]bool, d)
+
+	for i := range pl.frames {
+		f := &pl.frames[i]
+		pl.events.push(event{t: f.req.Arrival, kind: 1, a: f.stream, b: f.req.Seq, payload: i})
+	}
+	return pl, nil
+}
+
+func (pl *planner) schedule(k schedKey) (*annealer.Schedule, error) {
+	if sc, ok := pl.schedules[k]; ok {
+		return sc, nil
+	}
+	sc, err := annealer.Reverse(k.sp, k.tp)
+	if err != nil {
+		return nil, err
+	}
+	pl.schedules[k] = sc
+	return sc, nil
+}
+
+// lease returns the prepared session for (device, schedule), compiling it
+// on first use. Programming failures are stripped from the lease's fault
+// model: the dispatcher owns that draw (one per programming cycle, from
+// the batch's "fault/programming" split) so the plan and the execution
+// always agree on a batch's fate.
+func (pl *planner) lease(dev int, k schedKey) (*annealer.Lease, error) {
+	lk := leaseKey{dev, k}
+	if l, ok := pl.leases[lk]; ok {
+		return l, nil
+	}
+	d := pl.cfg.Devices[dev]
+	p := annealer.Params{
+		Schedule:             pl.schedules[k],
+		Engine:               d.Engine,
+		Profile:              d.Profile,
+		SweepsPerMicrosecond: d.SweepsPerMicrosecond,
+		ICE:                  d.ICE,
+		Faults:               d.Faults.WithoutProgrammingFailures(),
+		Parallelism:          1,
+	}
+	var l *annealer.Lease
+	var err error
+	if d.QPU != nil {
+		l, err = d.QPU.Lease(p)
+	} else {
+		l, err = annealer.NewLease(p)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fleet: device %d: %w", dev, err)
+	}
+	pl.leases[lk] = l
+	return l, nil
+}
+
+// deviceDown reports whether the device refuses new work at time t.
+func (pl *planner) deviceDown(dev int, t float64) bool {
+	f := pl.cfg.Devices[dev].FailAt
+	return f > 0 && t >= f
+}
+
+// simulate is the plan phase: a single-threaded event loop that fixes
+// every scheduling decision and all dispatcher telemetry.
+func (pl *planner) simulate() {
+	for pl.events.Len() > 0 {
+		e := pl.events.pop()
+		pl.clock = e.t
+		switch e.kind {
+		case 0:
+			pl.complete(e.payload)
+		case 1:
+			pl.admit(e.payload)
+		}
+		pl.dispatch()
+	}
+	// Anything still queued can never run: every device is down and
+	// nothing is in flight. Walk streams in order and shed.
+	for s := range pl.queues {
+		for _, fi := range pl.queues[s] {
+			t := math.Max(pl.clock, pl.frames[fi].req.Arrival)
+			pl.shed(fi, ShedDeviceUnavailable, t)
+		}
+		pl.queues[s] = nil
+	}
+	pl.queued = 0
+	for dev := range pl.cfg.Devices {
+		if f := pl.cfg.Devices[dev].FailAt; f > 0 && !pl.downEmitted[dev] {
+			pl.downEmitted[dev] = true
+			pl.cfg.Trace.Event("fleet/device-down", f, telemetry.Attrs{"device": dev})
+		}
+	}
+}
+
+// admit applies the admission-control ladder to an arriving frame.
+func (pl *planner) admit(fi int) {
+	f := &pl.frames[fi]
+	if pl.cfg.FleetQueueBound > 0 && pl.queued >= pl.cfg.FleetQueueBound {
+		pl.shed(fi, ShedFleetOverload, f.req.Arrival)
+		return
+	}
+	if len(pl.queues[f.stream]) >= pl.cfg.StreamQueueBound {
+		pl.shed(fi, ShedStreamQueueFull, f.req.Arrival)
+		return
+	}
+	pl.queues[f.stream] = append(pl.queues[f.stream], fi)
+	pl.queued++
+	if pl.cfg.Metrics != nil {
+		pl.cfg.Metrics.Histogram("fleet_queue_depth", 0, 64, 16).Observe(float64(pl.queued))
+	}
+}
+
+// shed records a degradation-ladder outcome: the frame is answered by the
+// classical candidate at the shed instant plus the fallback compute cost.
+func (pl *planner) shed(fi int, reason string, t float64) {
+	f := &pl.frames[fi]
+	o := &pl.outcomes[fi]
+	o.Start = t
+	o.Finish = t + float64(f.req.Problem.N)*classicalFallbackPerSpin
+	o.QueueMicros = t - f.req.Arrival
+	o.Attempts = f.attempts
+	o.Shed = true
+	o.ShedReason = reason
+	o.DeadlineMissed = o.Finish > f.absDeadline
+	o.Source = core.AnswerClassicalFallback
+	o.Best = qubo.Sample{
+		Spins:  append([]int8(nil), f.req.InitialState...),
+		Energy: f.req.Problem.Energy(f.req.InitialState),
+	}
+	pl.cfg.Trace.Event("fleet/shed", t, telemetry.Attrs{"stream": f.req.Stream, "seq": f.req.Seq, "reason": reason})
+	if o.DeadlineMissed {
+		pl.deadlineMiss(fi, o.Finish)
+	}
+	if pl.cfg.Metrics != nil {
+		pl.cfg.Metrics.Counter("fleet_shed_total", telemetry.Label{Key: "reason", Value: reason}).Inc()
+	}
+}
+
+func (pl *planner) deadlineMiss(fi int, at float64) {
+	f := &pl.frames[fi]
+	pl.cfg.Trace.Event("fleet/deadline-miss", at, telemetry.Attrs{"stream": f.req.Stream, "seq": f.req.Seq})
+	if pl.cfg.Metrics != nil {
+		pl.cfg.Metrics.Counter("fleet_deadline_misses_total").Inc()
+		pl.cfg.Metrics.Counter("fleet_stream_deadline_misses_total",
+			telemetry.Label{Key: "stream", Value: fmt.Sprint(f.req.Stream)}).Inc()
+	}
+}
+
+// expireHeads sheds queue heads whose deadlines have already passed —
+// dispatching them would burn device time on an answer nobody can use.
+func (pl *planner) expireHeads() {
+	for s := range pl.queues {
+		for len(pl.queues[s]) > 0 {
+			fi := pl.queues[s][0]
+			if pl.frames[fi].absDeadline > pl.clock {
+				break
+			}
+			pl.queues[s] = pl.queues[s][1:]
+			pl.queued--
+			pl.shed(fi, ShedDeadlineExpired, pl.clock)
+		}
+	}
+}
+
+// pickFrame returns the next frame to serve under the policy, or −1.
+// With forBatch < 0 it seeds a new batch (only streams with nothing in
+// flight are eligible); otherwise it extends batch forBatch with frames
+// matching key — a stream already in THAT batch may contribute its next
+// frame too (same-cycle continuation keeps FIFO intact). contOnly
+// restricts the pick to those continuations.
+func (pl *planner) pickFrame(forBatch int, key schedKey, contOnly bool) int {
+	eligible := func(s int) int {
+		if len(pl.queues[s]) == 0 {
+			return -1
+		}
+		if contOnly {
+			if pl.inflight[s] != forBatch {
+				return -1
+			}
+		} else if pl.inflight[s] != -1 && pl.inflight[s] != forBatch {
+			return -1
+		}
+		fi := pl.queues[s][0]
+		if forBatch >= 0 {
+			f := &pl.frames[fi]
+			if (schedKey{f.sp, f.tp}) != key {
+				return -1
+			}
+		}
+		return fi
+	}
+	if pl.cfg.Policy == PolicyRoundRobin {
+		n := len(pl.queues)
+		for off := 1; off <= n; off++ {
+			s := (pl.rrStream + off) % n
+			if fi := eligible(s); fi >= 0 {
+				if forBatch < 0 {
+					pl.rrStream = s
+				}
+				return fi
+			}
+		}
+		return -1
+	}
+	best := -1
+	for s := range pl.queues {
+		fi := eligible(s)
+		if fi < 0 {
+			continue
+		}
+		if best < 0 || pl.frameLess(fi, best) {
+			best = fi
+		}
+	}
+	return best
+}
+
+// frameLess orders frames for the non-round-robin policies.
+func (pl *planner) frameLess(a, b int) bool {
+	fa, fb := &pl.frames[a], &pl.frames[b]
+	if pl.cfg.Policy == PolicyEDF && fa.absDeadline != fb.absDeadline {
+		return fa.absDeadline < fb.absDeadline
+	}
+	if fa.req.Arrival != fb.req.Arrival {
+		return fa.req.Arrival < fb.req.Arrival
+	}
+	if fa.stream != fb.stream {
+		return fa.stream < fb.stream
+	}
+	return fa.req.Seq < fb.req.Seq
+}
+
+// pickDevice returns a free device under the policy, or −1.
+func (pl *planner) pickDevice() int {
+	free := func(d int) bool {
+		return pl.busyUntil[d] <= pl.clock && !pl.deviceDown(d, pl.clock)
+	}
+	n := len(pl.cfg.Devices)
+	if pl.cfg.Policy == PolicyRoundRobin {
+		for off := 1; off <= n; off++ {
+			d := (pl.rrDevice + off) % n
+			if free(d) {
+				pl.rrDevice = d
+				return d
+			}
+		}
+		return -1
+	}
+	best := -1
+	for d := 0; d < n; d++ {
+		if !free(d) {
+			continue
+		}
+		if best < 0 || pl.busy[d] < pl.busy[best] {
+			best = d
+		}
+	}
+	return best
+}
+
+// dispatch forms and launches batches while a free device and an eligible
+// frame exist.
+func (pl *planner) dispatch() {
+	for {
+		pl.expireHeads()
+		dev := pl.pickDevice()
+		if dev < 0 {
+			return
+		}
+		seed := pl.pickFrame(-1, schedKey{}, false)
+		if seed < 0 {
+			return
+		}
+		pl.launch(dev, seed)
+	}
+}
+
+// launch forms one batch seeded by frame seed and programs it onto dev.
+func (pl *planner) launch(dev, seed int) {
+	id := len(pl.batches)
+	sf := &pl.frames[seed]
+	key := schedKey{sf.sp, sf.tp}
+	b := plannedBatch{id: id, dev: dev, key: key, start: pl.clock}
+	take := func(fi int) {
+		f := &pl.frames[fi]
+		pl.queues[f.stream] = pl.queues[f.stream][1:]
+		pl.queued--
+		pl.inflight[f.stream] = id
+		f.attempts++
+		b.frames = append(b.frames, fi)
+	}
+	// Partition the eligible work across the free devices: pulling
+	// EXTRA streams into this cycle is worth a share of the programming
+	// overhead only while it doesn't starve an idle device, so
+	// cross-stream fills are capped at ceil(eligible/free). Same-stream
+	// continuations stay exempt — a stream locked by this batch cannot
+	// run anywhere else, so folding its next frames in is pure
+	// amortization.
+	eligibleSeeds, freeDevs := 0, 0
+	for s := range pl.queues {
+		if len(pl.queues[s]) > 0 && pl.inflight[s] == -1 {
+			eligibleSeeds++
+		}
+	}
+	for d2 := range pl.cfg.Devices {
+		if pl.busyUntil[d2] <= pl.clock && !pl.deviceDown(d2, pl.clock) {
+			freeDevs++
+		}
+	}
+	crossCap := (eligibleSeeds + freeDevs - 1) / freeDevs
+	if crossCap > pl.cfg.BatchMax {
+		crossCap = pl.cfg.BatchMax
+	}
+
+	take(seed)
+	cross := 1
+	for len(b.frames) < pl.cfg.BatchMax {
+		fi := pl.pickFrame(id, key, cross >= crossCap)
+		if fi < 0 {
+			break
+		}
+		if pl.inflight[pl.frames[fi].stream] != id {
+			cross++
+		}
+		take(fi)
+	}
+
+	d := pl.cfg.Devices[dev]
+	var prog, readout float64
+	if d.QPU != nil {
+		prog, readout = d.QPU.ProgrammingTime, d.QPU.ReadoutTime
+	}
+	sc := pl.schedules[key]
+	perRead := sc.Duration() + readout
+
+	// The batch's fate is pre-drawn from the same "fault/programming"
+	// split annealer.Run would use, keyed by (seed, device, cycle) — the
+	// execute phase never re-draws it.
+	root := rng.New(pl.cfg.Seed).SplitString("device").Split(uint64(dev)).Split(uint64(pl.devBatch[dev]))
+	pl.devBatch[dev]++
+	b.faulted = d.Faults.ProgrammingFails(root.SplitString("fault/programming"))
+
+	cursor := pl.clock + prog
+	if b.faulted {
+		b.finish = cursor
+		pl.cfg.Trace.Event("fleet/device-fault", pl.clock, telemetry.Attrs{"device": dev, "batch": id})
+	} else {
+		for _, fi := range b.frames {
+			f := &pl.frames[fi]
+			cursor += float64(f.reads) * perRead
+			o := &pl.outcomes[fi]
+			o.Start = b.start
+			o.Finish = cursor
+			o.QueueMicros = b.start - f.req.Arrival
+			o.Device = dev
+			o.Batch = id
+			o.Attempts = f.attempts
+		}
+		b.finish = cursor
+	}
+	pl.busyUntil[dev] = b.finish
+	pl.busy[dev] += b.finish - b.start
+	pl.batches = append(pl.batches, b)
+	pl.cfg.Trace.Span("fleet/batch", b.start, b.finish, telemetry.Attrs{
+		"device": dev, "batch": id, "frames": len(b.frames), "faulted": b.faulted,
+	})
+	if pl.cfg.Metrics != nil {
+		pl.cfg.Metrics.Counter("fleet_batches_total").Inc()
+		if b.faulted {
+			pl.cfg.Metrics.Counter("fleet_batch_faults_total").Inc()
+		}
+	}
+	pl.events.push(event{t: b.finish, kind: 0, a: dev, b: id, payload: id})
+}
+
+// complete retires a batch at its finish time: served frames get their
+// spans, faulted frames requeue at their stream heads or exhaust.
+func (pl *planner) complete(batchID int) {
+	b := &pl.batches[batchID]
+	for s := range pl.inflight {
+		if pl.inflight[s] == batchID {
+			pl.inflight[s] = -1
+		}
+	}
+	if !b.faulted {
+		for _, fi := range b.frames {
+			f := &pl.frames[fi]
+			o := &pl.outcomes[fi]
+			o.DeadlineMissed = o.Finish > f.absDeadline
+			pl.cfg.Trace.Span("fleet/frame", f.req.Arrival, o.Finish, telemetry.Attrs{
+				"stream": f.req.Stream, "seq": f.req.Seq, "device": o.Device,
+				"batch": batchID, "attempts": o.Attempts,
+			})
+			if o.DeadlineMissed {
+				pl.deadlineMiss(fi, o.Finish)
+			}
+			if pl.cfg.Metrics != nil {
+				pl.cfg.Metrics.Counter("fleet_frames_served_total").Inc()
+			}
+		}
+		return
+	}
+	// Faulted cycle: re-admit survivors at their stream FRONTS in batch
+	// order so per-stream FIFO survives the retry.
+	requeued := map[int][]int{}
+	for _, fi := range b.frames {
+		f := &pl.frames[fi]
+		if f.attempts >= pl.cfg.MaxAttempts {
+			pl.shed(fi, ShedRetriesExhausted, pl.clock)
+			continue
+		}
+		requeued[f.stream] = append(requeued[f.stream], fi)
+		pl.retries++
+		if pl.cfg.Metrics != nil {
+			pl.cfg.Metrics.Counter("fleet_retries_total").Inc()
+		}
+	}
+	for s := range pl.queues {
+		if fis, ok := requeued[s]; ok {
+			pl.queues[s] = append(append([]int(nil), fis...), pl.queues[s]...)
+			pl.queued += len(fis)
+		}
+	}
+}
+
+// execute runs every planned (non-faulted) batch's anneals on
+// cfg.Workers goroutines. Each frame's RNG derives from plan-fixed keys,
+// so the worker count cannot change any answer.
+func (pl *planner) execute(ctx context.Context) error {
+	var jobs []int
+	for i := range pl.batches {
+		if !pl.batches[i].faulted {
+			jobs = append(jobs, i)
+		}
+	}
+	// Compile every lease up front (deterministic order, fail fast).
+	for _, bi := range jobs {
+		b := &pl.batches[bi]
+		if _, err := pl.lease(b.dev, b.key); err != nil {
+			return err
+		}
+	}
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < pl.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for bi := range ch {
+				if ctx.Err() != nil {
+					fail(ctx.Err())
+					continue
+				}
+				if err := pl.runBatch(bi); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+	for _, bi := range jobs {
+		ch <- bi
+	}
+	close(ch)
+	wg.Wait()
+	return firstErr
+}
+
+// runBatch anneals one planned batch's frames through the device lease.
+func (pl *planner) runBatch(bi int) error {
+	b := &pl.batches[bi]
+	l := pl.leases[leaseKey{b.dev, b.key}]
+	for _, fi := range b.frames {
+		f := &pl.frames[fi]
+		o := &pl.outcomes[fi]
+		key := uint64(f.req.Stream)<<32 | uint64(f.req.Seq)
+		r := rng.New(pl.cfg.Seed).SplitString("fleet/frame").Split(key).Split(uint64(o.Attempts))
+		res, err := l.Run(f.req.Problem, f.req.InitialState, f.reads, r)
+		if err != nil {
+			if _, ok := annealer.AsFault(err); !ok {
+				return err
+			}
+			// A read-level hard fault (all reads lost): the candidate is
+			// still a complete answer — degrade, keep the planned timing.
+			o.Source = core.AnswerClassicalFallback
+			o.Best = qubo.Sample{
+				Spins:  append([]int8(nil), f.req.InitialState...),
+				Energy: f.req.Problem.Energy(f.req.InitialState),
+			}
+			continue
+		}
+		initE := f.req.Problem.Energy(f.req.InitialState)
+		if initE < res.Best.Energy {
+			o.Source = core.AnswerClassicalCandidate
+			o.Best = qubo.Sample{Spins: append([]int8(nil), f.req.InitialState...), Energy: initE}
+		} else {
+			o.Source = core.AnswerQuantum
+			o.Best = res.Best
+		}
+	}
+	return nil
+}
+
+// finishTelemetry emits the post-execution aggregates in deterministic
+// (single-threaded, outcome-ordered) fashion.
+func (pl *planner) finishTelemetry() {
+	if pl.cfg.Metrics == nil {
+		return
+	}
+	for i := range pl.outcomes {
+		pl.cfg.Metrics.Counter("fleet_answers_total",
+			telemetry.Label{Key: "source", Value: pl.outcomes[i].Source.String()}).Inc()
+	}
+	makespan := pl.makespan()
+	for d := range pl.cfg.Devices {
+		util := 0.0
+		if makespan > 0 {
+			util = pl.busy[d] / makespan
+		}
+		pl.cfg.Metrics.Gauge("fleet_device_utilization",
+			telemetry.Label{Key: "device", Value: fmt.Sprint(d)}).Set(util)
+	}
+}
+
+// makespan is the span from time zero to the last finish.
+func (pl *planner) makespan() float64 {
+	m := 0.0
+	for i := range pl.outcomes {
+		if pl.outcomes[i].Finish > m {
+			m = pl.outcomes[i].Finish
+		}
+	}
+	return m
+}

@@ -1,0 +1,55 @@
+package fleet
+
+import "fmt"
+
+// Policy selects which eligible frame is dispatched next and onto which
+// free device. All policies preserve per-stream FIFO order (only stream
+// heads are eligible) and are fully deterministic: ties break on
+// (arrival, stream, seq) for frames and on the lowest index for devices.
+type Policy int
+
+const (
+	// PolicyLeastLoaded serves frames in global FIFO order
+	// (arrival, stream, seq) and places each batch on the device with the
+	// least cumulative busy time — the sensible default for heterogeneous
+	// pools.
+	PolicyLeastLoaded Policy = iota
+	// PolicyRoundRobin cycles streams and devices in turn, giving every
+	// stream an equal dispatch share regardless of arrival pressure.
+	PolicyRoundRobin
+	// PolicyEDF serves the eligible frame with the earliest absolute
+	// deadline (frames without deadlines sort last) on the least-loaded
+	// device — earliest-deadline-first admission for latency SLOs.
+	PolicyEDF
+)
+
+// ParsePolicy maps the CLI spellings onto policies.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "least-loaded":
+		return PolicyLeastLoaded, nil
+	case "round-robin":
+		return PolicyRoundRobin, nil
+	case "edf":
+		return PolicyEDF, nil
+	}
+	return 0, fmt.Errorf("fleet: unknown policy %q (want least-loaded, round-robin, or edf)", s)
+}
+
+// String names the policy with its CLI spelling.
+func (p Policy) String() string {
+	switch p {
+	case PolicyLeastLoaded:
+		return "least-loaded"
+	case PolicyRoundRobin:
+		return "round-robin"
+	case PolicyEDF:
+		return "edf"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// valid reports whether p is a known policy.
+func (p Policy) valid() bool {
+	return p == PolicyLeastLoaded || p == PolicyRoundRobin || p == PolicyEDF
+}

@@ -1,0 +1,185 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// DeviceStats aggregates one device's plan-phase accounting.
+type DeviceStats struct {
+	ID          int     `json:"id"`
+	Batches     int     `json:"batches"`
+	Frames      int     `json:"frames"`
+	BusyMicros  float64 `json:"busy_us"`
+	Utilization float64 `json:"utilization"`
+}
+
+// StreamStats aggregates one stream's outcomes.
+type StreamStats struct {
+	Stream         int     `json:"stream"`
+	Frames         int     `json:"frames"`
+	Served         int     `json:"served"`
+	Shed           int     `json:"shed"`
+	DeadlineMisses int     `json:"deadline_misses"`
+	MeanLatency    float64 `json:"mean_latency_us"`
+}
+
+// Report summarizes one Serve call.
+type Report struct {
+	Policy  string `json:"policy"`
+	Frames  int    `json:"frames"`
+	Served  int    `json:"served"`
+	Shed    int    `json:"shed"`
+	Retries int    `json:"retries"`
+	Batches int    `json:"batches"`
+	// MeanBatchSize counts frames per non-faulted programming cycle.
+	MeanBatchSize float64 `json:"mean_batch_size"`
+	// MakespanMicros spans simulated time zero to the last finish.
+	MakespanMicros float64 `json:"makespan_us"`
+	// ThroughputPerSecond is served frames per simulated second.
+	ThroughputPerSecond float64 `json:"throughput_fps"`
+	// Latency figures are Finish − Arrival over served frames; queueing
+	// delay is Start − Arrival.
+	MeanLatencyMicros float64 `json:"mean_latency_us"`
+	P50LatencyMicros  float64 `json:"p50_latency_us"`
+	P99LatencyMicros  float64 `json:"p99_latency_us"`
+	P99QueueMicros    float64 `json:"p99_queue_us"`
+	DeadlineMissRate  float64 `json:"deadline_miss_rate"`
+
+	Devices []DeviceStats `json:"devices"`
+	Streams []StreamStats `json:"streams"`
+}
+
+// percentile returns the p-quantile (0 ≤ p ≤ 1) of sorted xs by
+// nearest-rank, 0 for empty input.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted)) + 0.5)
+	if i < 1 {
+		i = 1
+	}
+	if i > len(sorted) {
+		i = len(sorted)
+	}
+	return sorted[i-1]
+}
+
+// report aggregates the plan's accounting into a Report.
+func (pl *planner) report() Report {
+	rep := Report{
+		Policy:  pl.cfg.Policy.String(),
+		Frames:  len(pl.outcomes),
+		Retries: pl.retries,
+		Batches: len(pl.batches),
+	}
+	rep.MakespanMicros = pl.makespan()
+
+	var latencies, queues []float64
+	perStream := map[int]*StreamStats{}
+	var latSum float64
+	misses := 0
+	for i := range pl.outcomes {
+		o := &pl.outcomes[i]
+		ss := perStream[o.Stream]
+		if ss == nil {
+			ss = &StreamStats{Stream: o.Stream}
+			perStream[o.Stream] = ss
+		}
+		ss.Frames++
+		lat := o.Finish - o.Arrival
+		ss.MeanLatency += lat
+		if o.Shed {
+			rep.Shed++
+			ss.Shed++
+		} else {
+			rep.Served++
+			ss.Served++
+			latencies = append(latencies, lat)
+			queues = append(queues, o.QueueMicros)
+			latSum += lat
+		}
+		if o.DeadlineMissed {
+			misses++
+			ss.DeadlineMisses++
+		}
+	}
+	if rep.Served > 0 {
+		rep.MeanLatencyMicros = latSum / float64(rep.Served)
+	}
+	sort.Float64s(latencies)
+	sort.Float64s(queues)
+	rep.P50LatencyMicros = percentile(latencies, 0.50)
+	rep.P99LatencyMicros = percentile(latencies, 0.99)
+	rep.P99QueueMicros = percentile(queues, 0.99)
+	if rep.Frames > 0 {
+		rep.DeadlineMissRate = float64(misses) / float64(rep.Frames)
+	}
+	if rep.MakespanMicros > 0 {
+		rep.ThroughputPerSecond = float64(rep.Served) / rep.MakespanMicros * 1e6
+	}
+
+	served := 0
+	devs := make([]DeviceStats, len(pl.cfg.Devices))
+	for d := range devs {
+		devs[d].ID = d
+		devs[d].BusyMicros = pl.busy[d]
+		if rep.MakespanMicros > 0 {
+			devs[d].Utilization = pl.busy[d] / rep.MakespanMicros
+		}
+	}
+	goodBatches := 0
+	for i := range pl.batches {
+		b := &pl.batches[i]
+		devs[b.dev].Batches++
+		if !b.faulted {
+			devs[b.dev].Frames += len(b.frames)
+			served += len(b.frames)
+			goodBatches++
+		}
+	}
+	if goodBatches > 0 {
+		rep.MeanBatchSize = float64(served) / float64(goodBatches)
+	}
+	rep.Devices = devs
+
+	for _, id := range pl.streams {
+		ss := perStream[id]
+		if ss == nil {
+			continue
+		}
+		if ss.Frames > 0 {
+			ss.MeanLatency /= float64(ss.Frames)
+		}
+		rep.Streams = append(rep.Streams, *ss)
+	}
+	return rep
+}
+
+// WriteTable renders the report for terminals.
+func (r Report) WriteTable(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "policy\t%s\n", r.Policy)
+	fmt.Fprintf(tw, "frames\t%d (served %d, shed %d, retries %d)\n", r.Frames, r.Served, r.Shed, r.Retries)
+	fmt.Fprintf(tw, "batches\t%d (mean size %.2f)\n", r.Batches, r.MeanBatchSize)
+	fmt.Fprintf(tw, "makespan\t%.0f µs\n", r.MakespanMicros)
+	fmt.Fprintf(tw, "throughput\t%.1f frames/s\n", r.ThroughputPerSecond)
+	fmt.Fprintf(tw, "latency\tmean %.0f µs, p50 %.0f µs, p99 %.0f µs\n",
+		r.MeanLatencyMicros, r.P50LatencyMicros, r.P99LatencyMicros)
+	fmt.Fprintf(tw, "queueing\tp99 %.0f µs\n", r.P99QueueMicros)
+	fmt.Fprintf(tw, "deadline misses\t%.1f%%\n", 100*r.DeadlineMissRate)
+	fmt.Fprintln(tw)
+	fmt.Fprintln(tw, "device\tbatches\tframes\tbusy µs\tutilization")
+	for _, d := range r.Devices {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.0f\t%.1f%%\n", d.ID, d.Batches, d.Frames, d.BusyMicros, 100*d.Utilization)
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprintln(tw, "stream\tframes\tserved\tshed\tmisses\tmean latency µs")
+	for _, s := range r.Streams {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%.0f\n", s.Stream, s.Frames, s.Served, s.Shed, s.DeadlineMisses, s.MeanLatency)
+	}
+	return tw.Flush()
+}

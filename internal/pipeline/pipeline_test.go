@@ -203,7 +203,10 @@ func TestDetectionPipelineEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	frames := GenerateFrames(insts, 500, 5_000)
+	frames, err := GenerateFrames(insts, 500, 5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cs := &ClassicalStage{Rng: rng.New(1)}
 	qs := &QuantumStage{
 		NumReads: 30,
@@ -246,7 +249,10 @@ func TestDetectionPipelineEndToEnd(t *testing.T) {
 
 func TestQuantumStageRequiresCandidate(t *testing.T) {
 	insts, _ := instance.Corpus(instance.Spec{Users: 2, Scheme: modulation.QPSK}, 9, 1)
-	frames := GenerateFrames(insts, 0, 0)
+	frames, err := GenerateFrames(insts, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	qs := &QuantumStage{NumReads: 5, Config: core.AnnealConfig{SweepsPerMicrosecond: 60}, Rng: rng.New(1)}
 	p := &Pipeline{Stages: []Stage{qs}} // no classical stage
 	out, err := p.Run(frames)
@@ -272,7 +278,10 @@ func TestStagePayloadTypeChecked(t *testing.T) {
 
 func TestGenerateFrames(t *testing.T) {
 	insts, _ := instance.Corpus(instance.Spec{Users: 2, Scheme: modulation.BPSK}, 11, 3)
-	frames := GenerateFrames(insts, 1000, 3000)
+	frames, err := GenerateFrames(insts, 1000, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(frames) != 3 {
 		t.Fatal("frame count wrong")
 	}
@@ -341,7 +350,10 @@ func TestThreeStagePipeline(t *testing.T) {
 
 func TestGenerateFramesPoisson(t *testing.T) {
 	insts, _ := instance.Corpus(instance.Spec{Users: 2, Scheme: modulation.BPSK}, 13, 200)
-	frames := GenerateFramesPoisson(insts, 100, 500, rng.New(7))
+	frames, err := GenerateFramesPoisson(insts, 100, 500, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if frames[0].Arrival != 0 {
 		t.Fatal("first arrival not at 0")
 	}
@@ -358,7 +370,10 @@ func TestGenerateFramesPoisson(t *testing.T) {
 		t.Fatalf("mean inter-arrival %v, want ≈100", mean)
 	}
 	// Deterministic in the seed.
-	again := GenerateFramesPoisson(insts, 100, 500, rng.New(7))
+	again, err := GenerateFramesPoisson(insts, 100, 500, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range frames {
 		if frames[i].Arrival != again[i].Arrival {
 			t.Fatal("Poisson arrivals not deterministic")

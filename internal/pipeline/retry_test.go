@@ -278,7 +278,10 @@ func TestDetectionPipelineRetryFallbackAcceptance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	frames := GenerateFrames(insts, 400, 4_000)
+	frames, err := GenerateFrames(insts, 400, 4_000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg := core.AnnealConfig{
 		SweepsPerMicrosecond: 60,
 		Faults:               annealer.FaultModel{ProgrammingFailureRate: 0.5},
@@ -335,7 +338,10 @@ func TestRetryWrapperIsTransparentWithoutFaults(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		frames := GenerateFrames(insts, 400, 5_000)
+		frames, err := GenerateFrames(insts, 400, 5_000)
+		if err != nil {
+			t.Fatal(err)
+		}
 		var qs Stage = &QuantumStage{
 			NumReads: 30,
 			Config:   core.AnnealConfig{SweepsPerMicrosecond: 60},

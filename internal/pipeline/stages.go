@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/instance"
 	"repro/internal/mimo"
+	"repro/internal/qubo"
 	"repro/internal/rng"
 	"repro/internal/telemetry"
 )
@@ -88,6 +89,12 @@ type QuantumStage struct {
 	Sp, Tp   float64
 	NumReads int
 	Config   core.AnnealConfig
+	// Lease, when set, routes every frame through a prepared device
+	// session instead of re-validating and re-compiling per call — the
+	// fleet serving path. The lease's schedule and device settings take
+	// the place of Sp/Tp/Config; results are bit-identical to the
+	// unleased stage when both describe the same device.
+	Lease *annealer.Lease
 	// ProgrammingMicros and ReadoutMicros model per-call and per-read
 	// device overheads added to the pure anneal time. The paper's Figure 2
 	// pipelining is exactly about hiding these behind the classical
@@ -124,17 +131,20 @@ func (s *QuantumStage) Process(f *Frame) (float64, error) {
 	if r == nil {
 		r = rng.New(1)
 	}
-	h := &core.Hybrid{
-		Classical: core.FixedModule{State: pl.InitialState},
-		Sp:        sp, Tp: tp, NumReads: reads,
-		Config: s.Config,
-	}
 	// Attempt 0 uses the exact per-frame stream an unretried stage would;
 	// re-attempts derive fresh sub-streams so a retry is not a replay of
 	// the same faulted call.
 	rr := r.Split(uint64(f.Seq))
 	if f.Attempt > 0 {
 		rr = rr.Split(uint64(f.Attempt))
+	}
+	if s.Lease != nil {
+		return s.processLeased(f, pl, reads, rr)
+	}
+	h := &core.Hybrid{
+		Classical: core.FixedModule{State: pl.InitialState},
+		Sp:        sp, Tp: tp, NumReads: reads,
+		Config: s.Config,
 	}
 	out, err := h.Solve(pl.Instance.Reduction, rr)
 	if err != nil {
@@ -148,6 +158,35 @@ func (s *QuantumStage) Process(f *Frame) (float64, error) {
 	pl.Source = out.Source
 	pl.Degraded = out.Source.Degraded()
 	service := s.ProgrammingMicros + float64(reads)*(out.ScheduleDuration+s.ReadoutMicros)
+	return service, nil
+}
+
+// processLeased is the prepared-session path: the lease already holds the
+// validated schedule and compiled sweep program, so per-frame cost is the
+// anneal itself. The RNG stream ("quantum" under the per-frame split) and
+// the best-of contest against the classical candidate match Hybrid.Solve
+// exactly, so a leased stage is bit-identical to the unleased one.
+func (s *QuantumStage) processLeased(f *Frame, pl *DetectionPayload, reads int, rr *rng.Source) (float64, error) {
+	red := pl.Instance.Reduction
+	if len(pl.InitialState) != red.NumSpins() {
+		return 0, fmt.Errorf("pipeline: frame %d candidate has %d spins for %d-spin problem",
+			f.Seq, len(pl.InitialState), red.NumSpins())
+	}
+	res, err := s.Lease.Run(red.Ising, pl.InitialState, reads, rr.SplitString("quantum"))
+	if err != nil {
+		return s.ProgrammingMicros, err
+	}
+	best, source := res.Best, core.AnswerQuantum
+	if initE := red.Ising.Energy(pl.InitialState); initE < best.Energy {
+		best = qubo.Sample{Spins: append([]int8(nil), pl.InitialState...), Energy: initE}
+		source = core.AnswerClassicalCandidate
+	}
+	pl.Symbols = red.DecodeSpins(best.Spins)
+	pl.BestEnergy = best.Energy
+	pl.SymbolErrors = mimo.SymbolErrors(pl.Symbols, pl.Instance.Transmitted)
+	pl.Source = source
+	pl.Degraded = source.Degraded()
+	service := s.ProgrammingMicros + float64(reads)*(res.ScheduleDuration+s.ReadoutMicros)
 	return service, nil
 }
 
@@ -186,9 +225,37 @@ func (c *ClassicalFallback) Recover(f *Frame) (float64, error) {
 	return float64(n) * 1e-3, nil
 }
 
+// validateFrameTiming rejects degenerate arrival parameters before they
+// poison a simulation: NaN/Inf intervals or deadlines silently collapse
+// every frame onto t=0 (or push them past any deadline), and negative
+// values invert the arrival order.
+func validateFrameTiming(intervalName string, intervalMicros float64, requirePositive bool, deadlineMicros float64) error {
+	if math.IsNaN(intervalMicros) || math.IsInf(intervalMicros, 0) {
+		return fmt.Errorf("pipeline: %s must be finite, got %v", intervalName, intervalMicros)
+	}
+	if requirePositive && intervalMicros <= 0 {
+		return fmt.Errorf("pipeline: %s must be positive, got %v", intervalName, intervalMicros)
+	}
+	if !requirePositive && intervalMicros < 0 {
+		return fmt.Errorf("pipeline: %s must be non-negative, got %v", intervalName, intervalMicros)
+	}
+	if math.IsNaN(deadlineMicros) || math.IsInf(deadlineMicros, 0) {
+		return fmt.Errorf("pipeline: deadline must be finite, got %v", deadlineMicros)
+	}
+	if deadlineMicros < 0 {
+		return fmt.Errorf("pipeline: deadline must be non-negative, got %v (0 disables the deadline)", deadlineMicros)
+	}
+	return nil
+}
+
 // GenerateFrames turns an instance corpus into a periodic frame arrival
 // process: frame i arrives at i·interval μs with the given ARQ deadline.
-func GenerateFrames(insts []*instance.Instance, intervalMicros, deadlineMicros float64) []*Frame {
+// Interval 0 (all frames arrive together — a full backlog) and deadline 0
+// (no deadline) are valid; negative or non-finite values are errors.
+func GenerateFrames(insts []*instance.Instance, intervalMicros, deadlineMicros float64) ([]*Frame, error) {
+	if err := validateFrameTiming("interval", intervalMicros, false, deadlineMicros); err != nil {
+		return nil, err
+	}
 	frames := make([]*Frame, len(insts))
 	for i, inst := range insts {
 		frames[i] = &Frame{
@@ -198,7 +265,7 @@ func GenerateFrames(insts []*instance.Instance, intervalMicros, deadlineMicros f
 			Payload:  &DetectionPayload{Instance: inst},
 		}
 	}
-	return frames
+	return frames, nil
 }
 
 // RecordDetectionOutcomes publishes each detection frame's answer source
@@ -247,8 +314,16 @@ func (s *QuantumStage) QuantumServiceTime() (float64, error) {
 // GenerateFramesPoisson turns an instance corpus into a Poisson arrival
 // process with the given mean inter-arrival time — the bursty-traffic
 // counterpart of GenerateFrames for stress-testing deadline behaviour
-// under Challenge 3.
-func GenerateFramesPoisson(insts []*instance.Instance, meanIntervalMicros, deadlineMicros float64, r *rng.Source) []*Frame {
+// under Challenge 3. The mean must be strictly positive and finite (an
+// exponential with mean ≤ 0 is not a distribution); deadline 0 disables
+// the deadline.
+func GenerateFramesPoisson(insts []*instance.Instance, meanIntervalMicros, deadlineMicros float64, r *rng.Source) ([]*Frame, error) {
+	if err := validateFrameTiming("mean interval", meanIntervalMicros, true, deadlineMicros); err != nil {
+		return nil, err
+	}
+	if r == nil {
+		return nil, fmt.Errorf("pipeline: Poisson arrivals need an RNG source")
+	}
 	frames := make([]*Frame, len(insts))
 	t := 0.0
 	for i, inst := range insts {
@@ -267,5 +342,5 @@ func GenerateFramesPoisson(insts []*instance.Instance, meanIntervalMicros, deadl
 			Payload:  &DetectionPayload{Instance: inst},
 		}
 	}
-	return frames
+	return frames, nil
 }
