@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: check vet build test race race-fleet fuzz-smoke fmt
+# Per-claim anneal-read budget for the validation gate; CI passes a
+# tighter cap than the local default so the leg stays inside its slot.
+VALIDATE_MAX_READS ?= 30000
+
+.PHONY: check vet build test race race-fleet fuzz-smoke fmt validate update-golden cover
 
 check: vet build test race race-fleet fuzz-smoke
 
@@ -31,3 +35,20 @@ fuzz-smoke:
 
 fmt:
 	gofmt -l .
+
+# Statistical gate: every paper claim must clear its bootstrap-CI gate
+# and every figure metric must stay inside its golden baseline. Exits
+# non-zero on any failed/inconclusive claim or drifted metric; the drift
+# report lands in drift-report.json for artifact upload.
+validate:
+	$(GO) run ./cmd/experiments -validate -check-golden \
+		-validate-max-reads $(VALIDATE_MAX_READS) -drift-report drift-report.json
+
+# Explicit re-baselining after an intentional model change — review the
+# results/golden/ diff before committing.
+update-golden:
+	$(GO) run ./cmd/experiments -update-golden
+
+# Ratcheted per-package coverage floors (see scripts/check_coverage.sh).
+cover:
+	./scripts/check_coverage.sh

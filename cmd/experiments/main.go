@@ -6,16 +6,24 @@
 //	experiments -fig 8 -scale full      # Figure 8 at paper scale
 //	experiments -fig headline -out dir  # write series files into dir
 //	experiments -fig 8 -bench-json out  # also write BENCH_figure8.json
+//	experiments -validate               # gate the paper claims on bootstrap CIs
+//	experiments -check-golden           # compare figures against results/golden/
+//	experiments -update-golden          # re-baseline results/golden/ (explicit!)
 //
 // Output is the same rows the paper plots (see DESIGN.md's
 // per-experiment index); -out writes one text file per figure,
 // otherwise everything prints to stdout. -bench-json additionally
 // records each figure's wall time, configuration, and rendered series
 // as a machine-readable BENCH_*.json file.
+//
+// The -validate and -check-golden modes exit non-zero when any claim
+// fails (or is inconclusive) or any golden metric drifts; see DESIGN.md's
+// "Validation" section for the statistics behind the gates.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +36,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/telemetry"
+	"repro/internal/validate"
 )
 
 // Fleet-figure knobs, shared with runFigure.
@@ -47,11 +56,32 @@ func main() {
 		seed      = flag.Uint64("seed", 0, "override experiment seed (0 = default)")
 		benchJSON = flag.String("bench-json", "", "directory for machine-readable BENCH_*.json records")
 	)
+	var (
+		doValidate   = flag.Bool("validate", false, "run the statistical claim gates instead of regenerating figures")
+		checkGolden  = flag.Bool("check-golden", false, "compare figure metrics against the committed golden baselines")
+		updateGolden = flag.Bool("update-golden", false, "rewrite the golden baselines (explicit re-baselining only)")
+		goldenDir    = flag.String("golden-dir", filepath.Join("results", "golden"), "directory holding the golden baseline JSON files")
+		inject       = flag.String("validate-inject", "", "deliberate regression for harness self-tests: ra-degraded|reads-slashed|fleet-serial")
+		maxReads     = flag.Int("validate-max-reads", 0, "per-claim anneal-read budget for -validate (0 = default)")
+		driftOut     = flag.String("drift-report", "", "file for the machine-readable drift report JSON from -check-golden")
+	)
 	flag.IntVar(&fleetDevices, "fleet-devices", 8, "largest QPU pool the fleet figure scales to")
 	flag.StringVar(&fleetPolicy, "fleet-policy", "least-loaded", "fleet scheduling policy: least-loaded|round-robin|edf")
 	flag.Parse()
 	if err := tel.Start("experiments", log); err != nil {
 		log.Fatalf("%v", err)
+	}
+
+	if *doValidate || *checkGolden || *updateGolden {
+		opts := validate.Options{Inject: *inject, MaxReads: *maxReads}
+		opts.Config.Seed = *seed // 0 keeps the validation default (2020)
+		if err := runValidation(opts, *doValidate, *checkGolden, *updateGolden, *goldenDir, *driftOut, log); err != nil {
+			log.Fatalf("%v", err)
+		}
+		if err := tel.Flush(log); err != nil {
+			log.Fatalf("telemetry: %v", err)
+		}
+		return
 	}
 
 	cfg := experiments.Quick()
@@ -78,6 +108,47 @@ func main() {
 	if err := tel.Flush(log); err != nil {
 		log.Fatalf("telemetry: %v", err)
 	}
+}
+
+// runValidation dispatches the -validate / -check-golden / -update-golden
+// modes. Any failed or inconclusive claim and any drifted golden metric
+// comes back as an error, so `make validate` gates on the exit code.
+func runValidation(opts validate.Options, doValidate, checkGolden, updateGolden bool, goldenDir, driftOut string, log *cli.Logger) error {
+	if updateGolden {
+		start := time.Now()
+		if err := validate.UpdateGoldens(goldenDir, opts); err != nil {
+			return fmt.Errorf("update goldens: %w", err)
+		}
+		log.Infof("rebaselined %d golden figures under %s in %v", len(validate.GoldenFigures), goldenDir, time.Since(start))
+	}
+	if checkGolden {
+		rep, err := validate.CheckGoldens(goldenDir, opts)
+		if err != nil {
+			return fmt.Errorf("check goldens: %w", err)
+		}
+		rep.WriteTable(os.Stdout)
+		if driftOut != "" {
+			buf, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(driftOut, append(buf, '\n'), 0o644); err != nil {
+				return err
+			}
+			log.Infof("wrote drift report to %s", driftOut)
+		}
+		if n := rep.Failures(); n > 0 {
+			return fmt.Errorf("golden check: %d metric(s) drifted from baseline", n)
+		}
+	}
+	if doValidate {
+		rep := validate.Run(opts)
+		rep.WriteTable(os.Stdout)
+		if n := rep.Failures(); n > 0 {
+			return fmt.Errorf("validation: %d claim(s) not demonstrated", n)
+		}
+	}
+	return nil
 }
 
 // tabler is the common surface of every figure result.

@@ -15,8 +15,10 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 
 	"repro/internal/annealer"
@@ -24,6 +26,51 @@ import (
 	"repro/internal/rng"
 	"repro/internal/telemetry"
 )
+
+// jsonFloat marshals the non-finite float64s figure results legitimately
+// contain (TTS = +Inf when a solver never succeeds, ΔE_IS = NaN for
+// solvers without an initial state) as JSON strings — plain encoding/json
+// rejects them, and the golden-baseline files embed whole results.
+type jsonFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, accepting both the string
+// spellings above and plain numbers.
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		switch s {
+		case "NaN":
+			*f = jsonFloat(math.NaN())
+		case "+Inf":
+			*f = jsonFloat(math.Inf(1))
+		case "-Inf":
+			*f = jsonFloat(math.Inf(-1))
+		default:
+			return fmt.Errorf("experiments: unknown float spelling %q", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = jsonFloat(v)
+	return nil
+}
 
 // Config scales every harness's effort. Quick() keeps the full sweep
 // structure at a few seconds per figure for benchmarks and CI; Full()

@@ -14,17 +14,21 @@ import (
 // fixing removed at least one variable (left panel) and the mean number
 // of fixed variables among simplified instances (right panel).
 type Fig3Point struct {
-	Scheme          modulation.Scheme
-	Variables       int
-	SimplifiedRatio float64
-	AvgFixed        float64
+	Scheme          modulation.Scheme `json:"scheme"`
+	Variables       int               `json:"variables"`
+	SimplifiedRatio float64           `json:"simplified_ratio"`
+	AvgFixed        float64           `json:"avg_fixed"`
+	// Simplified is the success count behind SimplifiedRatio — the
+	// point's sample vector (out of the result's Instances trials) for
+	// confidence intervals.
+	Simplified int `json:"simplified"`
 }
 
 // Fig3Result is the full Figure 3 sweep.
 type Fig3Result struct {
-	Points []Fig3Point
+	Points []Fig3Point `json:"points"`
 	// Instances per point.
-	Instances int
+	Instances int `json:"instances"`
 }
 
 // Figure3 sweeps problem sizes (in QUBO variables) per modulation and
@@ -55,7 +59,7 @@ func Figure3(cfg Config, maxVars int) (*Fig3Result, error) {
 					fixedSum += len(pre.Fixed)
 				}
 			}
-			pt := Fig3Point{Scheme: s, Variables: vars}
+			pt := Fig3Point{Scheme: s, Variables: vars, Simplified: simplified}
 			pt.SimplifiedRatio = float64(simplified) / float64(cfg.Instances)
 			if simplified > 0 {
 				pt.AvgFixed = float64(fixedSum) / float64(simplified)

@@ -17,20 +17,24 @@ import (
 // harms it — the paper's conclusion being that tuning the constraint
 // factors on noisy analog hardware is impractical.
 type Fig4Result struct {
-	Users  int
-	Scheme modulation.Scheme
-	Rows   []Fig4Row
+	Users  int               `json:"users"`
+	Scheme modulation.Scheme `json:"scheme"`
+	Rows   []Fig4Row         `json:"rows"`
 }
 
 // Fig4Row is one constraint-weight setting.
 type Fig4Row struct {
-	Weight     float64
-	PriorWrong bool
-	PStar      float64
-	MeanDeltaE float64
+	Weight     float64 `json:"weight"`
+	PriorWrong bool    `json:"prior_wrong"`
+	PStar      float64 `json:"p_star"`
+	MeanDeltaE float64 `json:"mean_delta_e"`
 	// OptimumMoved reports whether the constrained problem's optimum no
 	// longer matches the original optimum's bits.
-	OptimumMoved bool
+	OptimumMoved bool `json:"optimum_moved"`
+	// Hits of Samples is the success count behind PStar — the row's
+	// sample vector for confidence intervals.
+	Hits    int `json:"hits"`
+	Samples int `json:"samples"`
 }
 
 // Figure4 runs the constraint study on one 16-QAM instance: the first
@@ -104,6 +108,8 @@ func Figure4(cfg Config) (*Fig4Result, error) {
 				PStar:        float64(hits) / float64(len(out.Samples)),
 				MeanDeltaE:   dSum / float64(len(out.Samples)),
 				OptimumMoved: moved,
+				Hits:         hits,
+				Samples:      len(out.Samples),
 			})
 		}
 	}

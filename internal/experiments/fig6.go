@@ -22,23 +22,26 @@ const (
 
 // Fig6Series is one (modulation, algorithm) sample distribution.
 type Fig6Series struct {
-	Scheme    modulation.Scheme
-	Algorithm Fig6Algorithm
+	Scheme    modulation.Scheme `json:"scheme"`
+	Algorithm Fig6Algorithm     `json:"algorithm"`
 	// Hist is the ΔE% distribution over all anneal samples of all
-	// instances (0–100%, 25 bins as plotted).
-	Hist *metrics.Histogram
+	// instances (0–100%, 25 bins as plotted) — the series' sample vector
+	// in binned form.
+	Hist *metrics.Histogram `json:"hist"`
 	// MeanDeltaE and GroundFraction summarize the distribution.
-	MeanDeltaE     float64
-	GroundFraction float64
-	Samples        int
+	MeanDeltaE     float64 `json:"mean_delta_e"`
+	GroundFraction float64 `json:"ground_fraction"`
+	// GroundHits is the success count behind GroundFraction.
+	GroundHits int `json:"ground_hits"`
+	Samples    int `json:"samples"`
 }
 
 // Fig6Result is the full figure.
 type Fig6Result struct {
-	Series    []*Fig6Series
-	Variables int
-	Instances int
-	Reads     int
+	Series    []*Fig6Series `json:"series"`
+	Variables int           `json:"variables"`
+	Instances int           `json:"instances"`
+	Reads     int           `json:"reads"`
 }
 
 // Figure6 reproduces the §4.3 distribution study: 36-variable decoding
@@ -98,7 +101,7 @@ func Figure6(cfg Config, variables int) (*Fig6Result, error) {
 					sr.Hist.Add(d)
 					sr.MeanDeltaE += d
 					if d <= 1e-6 {
-						sr.GroundFraction++
+						sr.GroundHits++
 					}
 					sr.Samples++
 				}
@@ -108,7 +111,7 @@ func Figure6(cfg Config, variables int) (*Fig6Result, error) {
 			sr := series[alg]
 			if sr.Samples > 0 {
 				sr.MeanDeltaE /= float64(sr.Samples)
-				sr.GroundFraction /= float64(sr.Samples)
+				sr.GroundFraction = float64(sr.GroundHits) / float64(sr.Samples)
 			}
 			res.Series = append(res.Series, sr)
 		}

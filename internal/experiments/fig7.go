@@ -16,19 +16,22 @@ import (
 // of that quality, reporting the success probability and the expectation
 // value of the (offset-free, ΔE%-scaled) cost over the anneal samples.
 type Fig7Point struct {
-	DeltaEIS   float64 // bin center, %
-	PStar      float64
-	MeanDeltaE float64
-	Inits      int // initial states contributing to the bin
-	Samples    int
+	DeltaEIS   float64 `json:"delta_e_is"` // bin center, %
+	PStar      float64 `json:"p_star"`
+	MeanDeltaE float64 `json:"mean_delta_e"`
+	Inits      int     `json:"inits"` // initial states contributing to the bin
+	Samples    int     `json:"samples"`
+	// PStars is the per-init success-probability sample vector PStar
+	// averages — what a bootstrap resamples for the bin's CI.
+	PStars []float64 `json:"p_stars"`
 }
 
 // Fig7Result is the full ΔE_IS% sweep on one instance.
 type Fig7Result struct {
-	Points []Fig7Point
-	Users  int
-	Scheme modulation.Scheme
-	Sp     float64
+	Points []Fig7Point       `json:"points"`
+	Users  int               `json:"users"`
+	Scheme modulation.Scheme `json:"scheme"`
+	Sp     float64           `json:"sp"`
 }
 
 // Figure7 studies the impact of the RA initial state's quality on one
@@ -56,6 +59,7 @@ func Figure7(cfg Config) (*Fig7Result, error) {
 		pSum, dSum float64
 		inits      int
 		samples    int
+		pStars     []float64
 	}
 	aggs := make([]agg, bins)
 
@@ -101,7 +105,9 @@ func Figure7(cfg Config) (*Fig7Result, error) {
 		aggs[b].inits++
 		remaining--
 		aggs[b].samples += len(res.Samples)
-		aggs[b].pSum += metrics.SuccessProbability(res.Samples, in.GroundEnergy, 1e-6)
+		p := metrics.SuccessProbability(res.Samples, in.GroundEnergy, 1e-6)
+		aggs[b].pSum += p
+		aggs[b].pStars = append(aggs[b].pStars, p)
 		for _, smp := range res.Samples {
 			aggs[b].dSum += metrics.DeltaEForIsing(is, smp.Energy, in.GroundEnergy)
 		}
@@ -118,6 +124,7 @@ func Figure7(cfg Config) (*Fig7Result, error) {
 			MeanDeltaE: a.dSum / float64(a.samples),
 			Inits:      a.inits,
 			Samples:    a.samples,
+			PStars:     a.pStars,
 		})
 	}
 	// Also include the ΔE_IS% = 0 reference point (ground-state init).
@@ -136,6 +143,7 @@ func Figure7(cfg Config) (*Fig7Result, error) {
 		Inits:      1,
 		Samples:    len(gsRes.Samples),
 	}
+	zero.PStars = []float64{zero.PStar}
 	res.Points = append([]Fig7Point{zero}, res.Points...)
 	return res, nil
 }

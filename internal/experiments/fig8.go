@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -40,24 +41,57 @@ func Fig8FamilySolver(target float64) Fig8Solver {
 
 // Fig8Point is one (solver, s_p) measurement.
 type Fig8Point struct {
-	Solver   Fig8Solver
-	Sp       float64
-	PStar    float64
-	TTS      float64 // μs at C_t = 99%
-	Duration float64 // one read's schedule μs
+	Solver   Fig8Solver `json:"solver"`
+	Sp       float64    `json:"sp"`
+	PStar    float64    `json:"p_star"`
+	TTS      float64    `json:"tts"`      // μs at C_t = 99%
+	Duration float64    `json:"duration"` // one read's schedule μs
 	// DeltaEIS is the RA initial state's actual quality (NaN for FA/FR).
-	DeltaEIS float64
+	DeltaEIS float64 `json:"delta_e_is"`
+	// Successes of Reads is the success count behind PStar — the point's
+	// sample vector (per-read Bernoulli indicators) for confidence
+	// intervals. For FR-oracle points the counts are the winning c_p's.
+	Successes int `json:"successes"`
+	Reads     int `json:"reads"`
+}
+
+// MarshalJSON implements json.Marshaler: TTS and DeltaEIS may be
+// non-finite (never-succeeded, no-initial-state), which plain JSON
+// numbers cannot carry.
+func (p Fig8Point) MarshalJSON() ([]byte, error) {
+	type wire Fig8Point
+	return json.Marshal(struct {
+		wire
+		TTS      jsonFloat `json:"tts"`
+		DeltaEIS jsonFloat `json:"delta_e_is"`
+	}{wire: wire(p), TTS: jsonFloat(p.TTS), DeltaEIS: jsonFloat(p.DeltaEIS)})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, the inverse of MarshalJSON.
+func (p *Fig8Point) UnmarshalJSON(b []byte) error {
+	type wire Fig8Point
+	var w struct {
+		wire
+		TTS      jsonFloat `json:"tts"`
+		DeltaEIS jsonFloat `json:"delta_e_is"`
+	}
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*p = Fig8Point(w.wire)
+	p.TTS, p.DeltaEIS = float64(w.TTS), float64(w.DeltaEIS)
+	return nil
 }
 
 // Fig8Result is the full sweep on the paper's 8-user 16-QAM instance.
 type Fig8Result struct {
-	Points []Fig8Point
-	Users  int
-	Scheme modulation.Scheme
+	Points []Fig8Point       `json:"points"`
+	Users  int               `json:"users"`
+	Scheme modulation.Scheme `json:"scheme"`
 	// Confidence is the TTS target C_t%.
-	Confidence float64
+	Confidence float64 `json:"confidence"`
 	// GSDeltaE is the greedy candidate's ΔE_IS%.
-	GSDeltaE float64
+	GSDeltaE float64 `json:"gs_delta_e"`
 }
 
 // Figure8 sweeps the switch/pause location s_p ∈ {0.25 … 0.97 step 0.04}
@@ -90,12 +124,19 @@ func Figure8(cfg Config) (*Fig8Result, error) {
 		familyD[target] = d
 	}
 
-	run := func(sc *annealer.Schedule, init []int8, r *rng.Source) (float64, error) {
+	// run draws one batch and returns (p★, successes, surviving reads).
+	run := func(sc *annealer.Schedule, init []int8, r *rng.Source) (float64, int, int, error) {
 		out, err := annealer.Run(is, cfg.annealParams(sc, init, cfg.Reads), r)
 		if err != nil {
-			return 0, err
+			return 0, 0, 0, err
 		}
-		return metrics.SuccessProbability(out.Samples, in.GroundEnergy, tol), nil
+		hits := 0
+		for _, s := range out.Samples {
+			if s.Energy <= in.GroundEnergy+tol {
+				hits++
+			}
+		}
+		return metrics.SuccessProbability(out.Samples, in.GroundEnergy, tol), hits, len(out.Samples), nil
 	}
 
 	for i, sp := range spGrid() {
@@ -105,65 +146,69 @@ func Figure8(cfg Config) (*Fig8Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		p, err := run(fa, nil, r.SplitString("fa"))
+		p, hits, reads, err := run(fa, nil, r.SplitString("fa"))
 		if err != nil {
 			return nil, err
 		}
-		res.add(Fig8FA, sp, p, fa.Duration(), math.NaN())
+		res.add(Fig8FA, sp, p, fa.Duration(), math.NaN(), hits, reads)
 
 		// FR with oracle cp: best success over a cp grid above sp.
 		bestP, bestDur := 0.0, 0.0
+		bestHits, bestReads := 0, 0
 		for _, cp := range cpGrid(sp) {
 			fr, err := annealer.ForwardReverse(cp, sp, 1, 1)
 			if err != nil {
 				return nil, err
 			}
-			pp, err := run(fr, nil, r.SplitString(fmt.Sprintf("fr/%0.2f", cp)))
+			pp, hh, rr, err := run(fr, nil, r.SplitString(fmt.Sprintf("fr/%0.2f", cp)))
 			if err != nil {
 				return nil, err
 			}
 			if pp > bestP || bestDur == 0 {
 				bestP, bestDur = pp, fr.Duration()
+				bestHits, bestReads = hh, rr
 			}
 		}
-		res.add(Fig8FROracle, sp, bestP, bestDur, math.NaN())
+		res.add(Fig8FROracle, sp, bestP, bestDur, math.NaN(), bestHits, bestReads)
 
 		// RA from the exact ground state (red dashed reference).
 		ra, err := annealer.Reverse(sp, 1)
 		if err != nil {
 			return nil, err
 		}
-		p, err = run(ra, in.GroundSpins, r.SplitString("ra0"))
+		p, hits, reads, err = run(ra, in.GroundSpins, r.SplitString("ra0"))
 		if err != nil {
 			return nil, err
 		}
-		res.add(Fig8RAGround, sp, p, ra.Duration(), 0)
+		res.add(Fig8RAGround, sp, p, ra.Duration(), 0, hits, reads)
 
 		// RA family: one curve per candidate quality.
 		for _, target := range fig8FamilyTargets {
-			p, err = run(ra, family[target], r.SplitString(fmt.Sprintf("ra/%g", target)))
+			p, hits, reads, err = run(ra, family[target], r.SplitString(fmt.Sprintf("ra/%g", target)))
 			if err != nil {
 				return nil, err
 			}
-			res.add(Fig8FamilySolver(target), sp, p, ra.Duration(), familyD[target])
+			res.add(Fig8FamilySolver(target), sp, p, ra.Duration(), familyD[target], hits, reads)
 		}
 
 		// RA from the hybrid's greedy candidate.
-		p, err = run(ra, gsState, r.SplitString("ra-gs"))
+		p, hits, reads, err = run(ra, gsState, r.SplitString("ra-gs"))
 		if err != nil {
 			return nil, err
 		}
-		res.add(Fig8RAGS, sp, p, ra.Duration(), res.GSDeltaE)
+		res.add(Fig8RAGS, sp, p, ra.Duration(), res.GSDeltaE, hits, reads)
 	}
 	return res, nil
 }
 
-func (r *Fig8Result) add(sv Fig8Solver, sp, p, dur, dIS float64) {
+func (r *Fig8Result) add(sv Fig8Solver, sp, p, dur, dIS float64, successes, reads int) {
 	r.Points = append(r.Points, Fig8Point{
 		Solver: sv, Sp: sp, PStar: p,
-		TTS:      metrics.TTS(dur, p, r.Confidence),
-		Duration: dur,
-		DeltaEIS: dIS,
+		TTS:       metrics.TTS(dur, p, r.Confidence),
+		Duration:  dur,
+		DeltaEIS:  dIS,
+		Successes: successes,
+		Reads:     reads,
 	})
 }
 
@@ -186,6 +231,14 @@ func cpGrid(sp float64) []float64 {
 		out = append(out, math.Min(1, sp+0.04))
 	}
 	return out
+}
+
+// CandidateAtQuality exposes the figure harnesses' candidate-state
+// synthesis to the validation harness: a state whose ΔE_IS% lands as
+// close as possible to target, plus the achieved quality. Deterministic
+// for a fixed r stream.
+func CandidateAtQuality(is *qubo.Ising, ground []int8, groundEnergy, target float64, r *rng.Source) ([]int8, float64) {
+	return stateAtQuality(is, ground, groundEnergy, target, r)
 }
 
 // stateAtQuality synthesizes a candidate whose ΔE_IS% is as close as

@@ -136,10 +136,15 @@ func RunFleetScaling(cfg Config, maxDevices int, policy fleet.Policy) (*FleetSca
 	return res, nil
 }
 
-// WriteTable renders the study.
+// WriteTable renders the study. An empty result (zero streams) renders
+// its header with zero frames rather than dividing by zero.
 func (r *FleetScalingResult) WriteTable(w io.Writer) {
+	perStream := 0
+	if r.Streams > 0 {
+		perStream = r.Frames / r.Streams
+	}
 	fmt.Fprintf(w, "# Fleet scaling: %d streams × %d frames of 8-user 16-QAM, %d reads, policy %s\n",
-		r.Streams, r.Frames/r.Streams, r.Reads, r.Policy)
+		r.Streams, perStream, r.Reads, r.Policy)
 	writeRow(w, "devices", "served", "shed", "thru_fps", "speedup", "p99_lat", "miss_rate", "batch", "util")
 	for _, row := range r.Rows {
 		writeRow(w, row.Devices, row.Served, row.Shed, row.ThroughputPerSecond,

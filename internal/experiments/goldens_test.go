@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the WriteTable golden files under testdata/")
+
+// tabler is any figure result that renders itself.
+type tabler interface{ WriteTable(w io.Writer) }
+
+// tableFor adapts a harness result, forwarding its error.
+func tableFor(r tabler, err error) (tabler, error) { return r, err }
+
+// The rendered tables are part of the repo's interface — results/*.txt is
+// committed and diffed across PRs — so every figure's WriteTable output
+// is pinned against a golden file at the test scale. Regenerate with
+//
+//	go test ./internal/experiments -run TestWriteTableGoldens -update
+//
+// after an intentional format or model change, and review the diff.
+func TestWriteTableGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every figure harness")
+	}
+	figures := []struct {
+		name string
+		run  func(cfg Config) (tabler, error)
+	}{
+		{"fig3", func(cfg Config) (tabler, error) { return tableFor(Figure3(cfg, 0)) }},
+		{"fig4", func(cfg Config) (tabler, error) { return tableFor(Figure4(cfg)) }},
+		{"fig6", func(cfg Config) (tabler, error) { return tableFor(Figure6(cfg, 0)) }},
+		{"fig7", func(cfg Config) (tabler, error) { return tableFor(Figure7(cfg)) }},
+		{"fig8", func(cfg Config) (tabler, error) { return tableFor(Figure8(cfg)) }},
+		{"fleet", func(cfg Config) (tabler, error) { return tableFor(RunFleetScaling(cfg, 0, 0)) }},
+		{"pipeline", func(cfg Config) (tabler, error) { return tableFor(PipelineFigure(cfg, 0)) }},
+	}
+	for _, fig := range figures {
+		fig := fig
+		t.Run(fig.name, func(t *testing.T) {
+			t.Parallel()
+			res, err := fig.run(tiny())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			res.WriteTable(&sb)
+			got := sb.String()
+			path := filepath.Join("testdata", fig.name+".golden.txt")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s table drifted from golden (re-run with -update if intentional)\n--- got ---\n%s--- want ---\n%s",
+					fig.name, got, want)
+			}
+		})
+	}
+}

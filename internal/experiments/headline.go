@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -23,28 +24,65 @@ import (
 // healing a greedy candidate's correlated defect cluster is exactly the
 // multi-spin tunnelling move the surrogate lacks (see EXPERIMENTS.md).
 type HeadlineResult struct {
-	Instances int
-	Rows      []HeadlineRow
+	Instances int           `json:"instances"`
+	Rows      []HeadlineRow `json:"rows"`
 	// Median ratios across instances (FA TTS / RA TTS; > 1 = RA wins).
-	MedianFamilyTTSRatio float64
-	MedianGSTTSRatio     float64
+	MedianFamilyTTSRatio float64 `json:"median_family_tts_ratio"`
+	MedianGSTTSRatio     float64 `json:"median_gs_tts_ratio"`
 	// MedianPStarRatio is RA-family best p★ / FA best p★.
-	MedianPStarRatio float64
+	MedianPStarRatio float64 `json:"median_p_star_ratio"`
 }
 
 // HeadlineRow is one instance's comparison at each solver's best s_p.
 type HeadlineRow struct {
-	Instance    int
-	FAPStar     float64
-	FATTS       float64
-	FamilyPStar float64
-	FamilyTTS   float64
-	GSPStar     float64
-	GSTTS       float64
-	FamilyRatio float64 // FA TTS / family-RA TTS
-	GSRatio     float64 // FA TTS / GS-RA TTS
-	PStarRatio  float64 // family-RA p★ / FA p★
-	GSDeltaE    float64
+	Instance    int     `json:"instance"`
+	FAPStar     float64 `json:"fa_p_star"`
+	FATTS       float64 `json:"fa_tts"`
+	FamilyPStar float64 `json:"family_p_star"`
+	FamilyTTS   float64 `json:"family_tts"`
+	GSPStar     float64 `json:"gs_p_star"`
+	GSTTS       float64 `json:"gs_tts"`
+	FamilyRatio float64 `json:"family_ratio"` // FA TTS / family-RA TTS
+	GSRatio     float64 `json:"gs_ratio"`     // FA TTS / GS-RA TTS
+	PStarRatio  float64 `json:"p_star_ratio"` // family-RA p★ / FA p★
+	GSDeltaE    float64 `json:"gs_delta_e"`
+}
+
+// headlineWire carries HeadlineRow's non-finite-capable fields (TTS is
+// +Inf when a solver never succeeded, and the derived ratios follow) at
+// depth 0 so they shadow the embedded row's plain-float tags.
+type headlineWire struct {
+	wireHeadlineRow
+	FATTS       jsonFloat `json:"fa_tts"`
+	FamilyTTS   jsonFloat `json:"family_tts"`
+	GSTTS       jsonFloat `json:"gs_tts"`
+	FamilyRatio jsonFloat `json:"family_ratio"`
+	GSRatio     jsonFloat `json:"gs_ratio"`
+	PStarRatio  jsonFloat `json:"p_star_ratio"`
+}
+
+// wireHeadlineRow is HeadlineRow without its marshal methods.
+type wireHeadlineRow HeadlineRow
+
+// MarshalJSON implements json.Marshaler (non-finite TTS/ratio fields).
+func (r HeadlineRow) MarshalJSON() ([]byte, error) {
+	return json.Marshal(headlineWire{
+		wireHeadlineRow: wireHeadlineRow(r),
+		FATTS:           jsonFloat(r.FATTS), FamilyTTS: jsonFloat(r.FamilyTTS), GSTTS: jsonFloat(r.GSTTS),
+		FamilyRatio: jsonFloat(r.FamilyRatio), GSRatio: jsonFloat(r.GSRatio), PStarRatio: jsonFloat(r.PStarRatio),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, the inverse of MarshalJSON.
+func (r *HeadlineRow) UnmarshalJSON(b []byte) error {
+	var w headlineWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*r = HeadlineRow(w.wireHeadlineRow)
+	r.FATTS, r.FamilyTTS, r.GSTTS = float64(w.FATTS), float64(w.FamilyTTS), float64(w.GSTTS)
+	r.FamilyRatio, r.GSRatio, r.PStarRatio = float64(w.FamilyRatio), float64(w.GSRatio), float64(w.PStarRatio)
+	return nil
 }
 
 // Headline runs the Figure-8 sweep per instance and extracts the ratios.

@@ -14,15 +14,15 @@ import (
 // successive channel uses through staged classical/quantum units versus
 // running both stages serially per frame.
 type PipelineResult struct {
-	Frames int
+	Frames int `json:"frames"`
 	// Pipelined and Serial are the two execution disciplines' reports.
-	Pipelined *pipeline.Report
-	Serial    *pipeline.Report
+	Pipelined *pipeline.Report `json:"pipelined"`
+	Serial    *pipeline.Report `json:"serial"`
 	// SpeedupMakespan = serial makespan / pipelined makespan.
-	SpeedupMakespan float64
+	SpeedupMakespan float64 `json:"speedup_makespan"`
 	// DecodeRate is the fraction of frames decoded to the transmitted
 	// symbols.
-	DecodeRate float64
+	DecodeRate float64 `json:"decode_rate"`
 }
 
 // PipelineFigure runs a stream of 16-QAM channel uses through the GS→RA
@@ -130,11 +130,19 @@ func (s *replayStage) Process(f *pipeline.Frame) (float64, error) {
 	return s.micros[f.Seq], nil
 }
 
-// WriteTable renders the comparison.
+// WriteTable renders the comparison. Missing discipline reports (an
+// empty or partially built result) render as zero rows instead of
+// dereferencing nil.
 func (r *PipelineResult) WriteTable(w io.Writer) {
 	fmt.Fprintf(w, "# Figure 2: pipelined vs serial classical-quantum processing (%d channel uses)\n", r.Frames)
 	writeRow(w, "discipline", "makespan_us", "thru_fps", "mean_lat_us")
-	writeRow(w, "pipelined", r.Pipelined.Makespan, r.Pipelined.ThroughputPerSecond, r.Pipelined.MeanLatency)
-	writeRow(w, "serial", r.Serial.Makespan, r.Serial.ThroughputPerSecond, r.Serial.MeanLatency)
+	row := func(name string, rep *pipeline.Report) {
+		if rep == nil {
+			rep = &pipeline.Report{}
+		}
+		writeRow(w, name, rep.Makespan, rep.ThroughputPerSecond, rep.MeanLatency)
+	}
+	row("pipelined", r.Pipelined)
+	row("serial", r.Serial)
 	fmt.Fprintf(w, "makespan speedup: %.2fx; decode rate: %.2f\n", r.SpeedupMakespan, r.DecodeRate)
 }

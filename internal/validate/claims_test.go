@@ -1,0 +1,82 @@
+package validate
+
+import (
+	"testing"
+)
+
+// The acceptance property of the whole harness: an injected regression
+// must flip a claim from pass to fail. The RA-candidate claim is the
+// cheapest anneal-backed one (it decides in one batch both ways), so it
+// carries the end-to-end test: honest sampling passes, a degraded
+// greedy-search module (random candidate states) crosses the gate.
+func TestRAClaimGatesInjectedRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("anneal-backed sequential test")
+	}
+	eval := claimByName(t, "fig8-ra-beats-fa")
+	opts := Options{BatchReads: 200, MaxReads: 4000}
+
+	ests, reads, err := eval(NewEnv(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 1 || ests[0].Verdict != Pass {
+		t.Fatalf("honest run should pass, got %+v", ests)
+	}
+	if reads <= 0 || ests[0].Stop != "ci-cleared" {
+		t.Fatalf("expected ci-cleared with reads spent, got %+v after %d reads", ests[0], reads)
+	}
+
+	opts.Inject = "ra-degraded"
+	ests, _, err = eval(NewEnv(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 1 || ests[0].Verdict != Fail || ests[0].Stop != "ci-crossed" {
+		t.Fatalf("degraded run should cross the gate, got %+v", ests)
+	}
+}
+
+// A starved read budget must yield Inconclusive (which gates), never a
+// spurious pass: one 20-read batch per arm cannot separate a 1.5× ratio.
+func TestBudgetExhaustionIsInconclusive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("anneal-backed sequential test")
+	}
+	eval := claimByName(t, "fig8-ra-beats-fa")
+	ests, reads, err := eval(NewEnv(Options{BatchReads: 20, MaxReads: 40}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 1 {
+		t.Fatalf("want 1 estimate, got %+v", ests)
+	}
+	if ests[0].Verdict != Inconclusive || ests[0].Stop != "budget-exhausted" {
+		t.Fatalf("starved run should be inconclusive/budget-exhausted, got %+v", ests[0])
+	}
+	if reads > 40 {
+		t.Fatalf("budget overrun: %d reads drawn under a 40-read cap", reads)
+	}
+	if combine(ests) == Pass {
+		t.Fatal("inconclusive estimates must not pass the claim")
+	}
+}
+
+// The fleet claim under the fleet-serial injection measures a 1× fleet
+// against itself — the speedup gate must cross, not stall.
+func TestFleetClaimGatesSerialInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serves several fleet workloads")
+	}
+	eval := claimByName(t, "fleet-speedup")
+	ests, _, err := eval(NewEnv(Options{Inject: "fleet-serial"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 1 || ests[0].Verdict != Fail {
+		t.Fatalf("serial fleet should fail the 3x gate, got %+v", ests)
+	}
+	if ests[0].CI.Value != 1.0 {
+		t.Fatalf("a pool serving against itself has speedup exactly 1, got %g", ests[0].CI.Value)
+	}
+}

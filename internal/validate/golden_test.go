@@ -1,0 +1,157 @@
+package validate
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func ci(v, lo, hi float64) metrics.CI {
+	return metrics.CI{Value: v, Lo: lo, Hi: hi, Confidence: 95, N: 100}
+}
+
+func TestGoldenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := &Golden{
+		Schema: GoldenSchema, Figure: "test", Seed: 2020, Instances: 3, Reads: 150,
+		Metrics: []Metric{{Name: "x/y", CI: ci(1, 0.9, 1.1)}},
+		Result:  json.RawMessage(`{"points":[]}`),
+	}
+	if err := WriteGolden(dir, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGolden(dir, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 2020 || len(got.Metrics) != 1 || got.Metrics[0].Name != "x/y" {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	buf, _ := os.ReadFile(goldenPath(dir, "test"))
+	if buf[len(buf)-1] != '\n' {
+		t.Fatal("golden files must end in a newline (they are committed)")
+	}
+}
+
+func TestGoldenSchemaMismatch(t *testing.T) {
+	dir := t.TempDir()
+	g := &Golden{Schema: GoldenSchema + 1, Figure: "test"}
+	if err := WriteGolden(dir, g); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadGolden(dir, "test")
+	if err == nil || !strings.Contains(err.Error(), "-update-golden") {
+		t.Fatalf("schema mismatch must ask for regeneration, got %v", err)
+	}
+}
+
+func TestGoldenLoadMissing(t *testing.T) {
+	if _, err := LoadGolden(t.TempDir(), "nope"); err == nil {
+		t.Fatal("missing baseline must error")
+	}
+}
+
+func TestCompareGoldenVerdicts(t *testing.T) {
+	old := &Golden{Figure: "f", Metrics: []Metric{
+		{Name: "stable", CI: ci(1.0, 0.9, 1.1)},
+		{Name: "drifted", CI: ci(1.0, 0.9, 1.1)},
+		{Name: "gone", CI: ci(5, 4, 6)},
+	}}
+	cur := &Golden{Figure: "f", Metrics: []Metric{
+		{Name: "stable", CI: ci(1.05, 0.95, 1.15)}, // overlaps
+		{Name: "drifted", CI: ci(2.0, 1.8, 2.2)},   // separated
+		{Name: "fresh", CI: ci(3, 2.9, 3.1)},       // unbaselined
+	}}
+	rows := CompareGolden(old, cur)
+	byName := map[string]string{}
+	for _, d := range rows {
+		byName[d.Metric] = d.Verdict
+	}
+	want := map[string]string{"stable": "ok", "drifted": "drift", "gone": "missing", "fresh": "new"}
+	for name, v := range want {
+		if byName[name] != v {
+			t.Errorf("%s: verdict %q, want %q", name, byName[name], v)
+		}
+	}
+	rep := &DriftReport{Schema: GoldenSchema, Rows: rows}
+	if rep.Failures() != 3 {
+		t.Fatalf("Failures = %d, want 3 (drift+missing+new)", rep.Failures())
+	}
+	var sb strings.Builder
+	rep.WriteTable(&sb)
+	if !strings.Contains(sb.String(), "drift rows: 3 of 4") {
+		t.Fatalf("report summary wrong:\n%s", sb.String())
+	}
+}
+
+// Degenerate (exact) intervals compare by equality — the committed
+// deterministic metrics drift on ANY change.
+func TestCompareGoldenExactIntervals(t *testing.T) {
+	old := &Golden{Figure: "f", Metrics: []Metric{{Name: "served", CI: exactCI(48)}}}
+	same := &Golden{Figure: "f", Metrics: []Metric{{Name: "served", CI: exactCI(48)}}}
+	moved := &Golden{Figure: "f", Metrics: []Metric{{Name: "served", CI: exactCI(47)}}}
+	if CompareGolden(old, same)[0].Verdict != "ok" {
+		t.Fatal("identical exact metrics must be ok")
+	}
+	if CompareGolden(old, moved)[0].Verdict != "drift" {
+		t.Fatal("any change to an exact metric must drift")
+	}
+}
+
+// The fastest real figure exercises the full snapshot → compare loop.
+func TestFigure3GoldenLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the Figure 3 sweep")
+	}
+	dir := t.TempDir()
+	opts := Options{}
+	g, err := RunGoldenFigure("3", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Metrics) == 0 || len(g.Result) == 0 {
+		t.Fatalf("empty golden: %+v", g)
+	}
+	if err := WriteGolden(dir, g); err != nil {
+		t.Fatal(err)
+	}
+	old, err := LoadGolden(dir, "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := RunGoldenFigure("3", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range CompareGolden(old, again) {
+		if d.Verdict != "ok" {
+			t.Errorf("same-seed re-run drifted: %+v", d)
+		}
+	}
+	// An injected regression in the preprocessing stats must be caught.
+	broken := *again
+	broken.Metrics = append([]Metric(nil), again.Metrics...)
+	for i := range broken.Metrics {
+		if broken.Metrics[i].Name == "fig3/small_simplified_ratio" {
+			broken.Metrics[i].CI = ci(0.05, 0.01, 0.10)
+		}
+	}
+	found := false
+	for _, d := range CompareGolden(old, &broken) {
+		if d.Metric == "fig3/small_simplified_ratio" && d.Verdict == "drift" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("regressed simplification ratio not flagged as drift")
+	}
+}
+
+func TestRunGoldenFigureUnknown(t *testing.T) {
+	if _, err := RunGoldenFigure("nope", Options{}); err == nil {
+		t.Fatal("unknown figure must error")
+	}
+}
