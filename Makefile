@@ -7,9 +7,9 @@ GO ?= go
 # tighter cap than the local default so the leg stays inside its slot.
 VALIDATE_MAX_READS ?= 30000
 
-.PHONY: check vet build test race race-fleet fuzz-smoke fmt validate update-golden cover
+.PHONY: check vet build test race race-fleet race-cran fuzz-smoke fmt validate update-golden cover
 
-check: vet build test race race-fleet fuzz-smoke
+check: vet build test race race-fleet race-cran fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +27,11 @@ race:
 # multi-QPU serving path; run them race-enabled and uncached every time.
 race-fleet:
 	$(GO) test -race -count=1 ./internal/fleet/
+
+# Same lock one level up: the C-RAN tier's cross-shard failover, shared
+# telemetry merge, and determinism battery under the race detector.
+race-cran:
+	$(GO) test -race -count=1 ./internal/cran/
 
 # Run every fuzz target's seed corpus (no open-ended fuzzing): catches
 # regressions on the known-interesting inputs in CI time.

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/cran"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/telemetry"
@@ -45,12 +46,19 @@ var (
 	fleetPolicy  string
 )
 
+// C-RAN-figure knobs, shared with runFigure.
+var (
+	cranShards    int
+	cranCells     int
+	cranPlacement string
+)
+
 func main() {
 	log := cli.New("experiments")
 	log.RegisterVerbosity()
 	tel := cli.RegisterTelemetry()
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 2|3|4|6|7|8|headline|ablation-*|ber|hardness|qaoa|capacity|availability|fleet|all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 2|3|4|6|7|8|headline|ablation-*|ber|hardness|qaoa|capacity|availability|fleet|cran|all")
 		scale     = flag.String("scale", "quick", "effort: quick|full")
 		out       = flag.String("out", "", "directory for per-figure output files (default stdout)")
 		seed      = flag.Uint64("seed", 0, "override experiment seed (0 = default)")
@@ -61,12 +69,15 @@ func main() {
 		checkGolden  = flag.Bool("check-golden", false, "compare figure metrics against the committed golden baselines")
 		updateGolden = flag.Bool("update-golden", false, "rewrite the golden baselines (explicit re-baselining only)")
 		goldenDir    = flag.String("golden-dir", filepath.Join("results", "golden"), "directory holding the golden baseline JSON files")
-		inject       = flag.String("validate-inject", "", "deliberate regression for harness self-tests: ra-degraded|reads-slashed|fleet-serial")
+		inject       = flag.String("validate-inject", "", "deliberate regression for harness self-tests: ra-degraded|reads-slashed|fleet-serial|cran-single-shard")
 		maxReads     = flag.Int("validate-max-reads", 0, "per-claim anneal-read budget for -validate (0 = default)")
 		driftOut     = flag.String("drift-report", "", "file for the machine-readable drift report JSON from -check-golden")
 	)
 	flag.IntVar(&fleetDevices, "fleet-devices", 8, "largest QPU pool the fleet figure scales to")
 	flag.StringVar(&fleetPolicy, "fleet-policy", "least-loaded", "fleet scheduling policy: least-loaded|round-robin|edf")
+	flag.IntVar(&cranShards, "cran-shards", 8, "shard count for the cran figure (4 QPUs per shard)")
+	flag.IntVar(&cranCells, "cran-cells", 200, "cell count for the cran figure (5 UE streams per cell)")
+	flag.StringVar(&cranPlacement, "cran-placement", "hash", "cran cell-placement policy: hash|load-aware")
 	flag.Parse()
 	if err := tel.Start("experiments", log); err != nil {
 		log.Fatalf("%v", err)
@@ -98,7 +109,7 @@ func main() {
 
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {
-		figs = []string{"2", "3", "4", "6", "7", "8", "headline", "ablation-modules", "ablation-device", "ablation-gsorder", "ber", "hardness", "qaoa", "capacity", "availability", "fleet"}
+		figs = []string{"2", "3", "4", "6", "7", "8", "headline", "ablation-modules", "ablation-device", "ablation-gsorder", "ber", "hardness", "qaoa", "capacity", "availability", "fleet", "cran"}
 	}
 	for _, f := range figs {
 		if err := runFigure(strings.TrimSpace(f), cfg, *out, *benchJSON, log); err != nil {
@@ -198,6 +209,13 @@ func runFigure(fig string, cfg experiments.Config, outDir, benchDir string, log 
 			return err
 		}
 		res, err = experiments.RunFleetScaling(cfg, fleetDevices, pol)
+	case "cran":
+		var pol cran.Placement
+		pol, err = cran.ParsePlacement(cranPlacement)
+		if err != nil {
+			return err
+		}
+		res, err = experiments.RunCRAN(cfg, cranShards, cranCells, pol)
 	default:
 		return fmt.Errorf("unknown figure %q (2|3|4|6|7|8|headline|ablation-modules|ablation-device|ablation-gsorder)", fig)
 	}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/cran"
 	"repro/internal/fleet"
 	"repro/internal/instance"
 	"repro/internal/metrics"
@@ -57,6 +58,9 @@ func main() {
 		probe        = flag.Bool("probe", false, "record sweep-level engine observations into -trace-out/-metrics-out")
 		fleetDevices = flag.Int("fleet-devices", 0, "serve the instance through a simulated multi-QPU fleet of this size (0 = direct solve)")
 		fleetPolicy  = flag.String("fleet-policy", "least-loaded", "fleet scheduling policy: least-loaded|round-robin|edf")
+		cranShards   = flag.Int("cran-shards", 0, "serve a generated city workload through a sharded C-RAN tier of this many shards (4 QPUs each; 0 = off)")
+		cranCells    = flag.Int("cran-cells", 12, "cell count for the -cran-shards demo workload")
+		cranPlace    = flag.String("cran-placement", "hash", "C-RAN cell-placement policy: hash|load-aware")
 		progMicros   = flag.Float64("prog-us", 10_000, "programming overhead μs used to lay out trace spans (telemetry only)")
 		readoutUs    = flag.Float64("readout-us", 123, "per-read readout μs used to lay out trace spans (telemetry only)")
 	)
@@ -106,6 +110,16 @@ func main() {
 		cfg.Timing = &annealer.DeviceTiming{ProgrammingMicros: *progMicros, ReadoutMicros: *readoutUs}
 	}
 	r := rng.New(*seed ^ 0xABCDEF)
+
+	if *cranShards > 0 {
+		if err := serveCRAN(*cranShards, *cranCells, *cranPlace, *seed, tel); err != nil {
+			log.Fatalf("cran: %v", err)
+		}
+		if err := tel.Flush(log); err != nil {
+			log.Fatalf("telemetry: %v", err)
+		}
+		return
+	}
 
 	if *fleetDevices > 0 {
 		if err := serveFleet(inst, *fleetDevices, *fleetPolicy, *reads, *seed, tel, r); err != nil {
@@ -199,6 +213,57 @@ func serveFleet(inst *instance.Instance, devices int, policy string, reads int, 
 		bySource[o.Source.String()]++
 	}
 	fmt.Printf("answers: %v\n\n", bySource)
+	return out.Report.WriteTable(os.Stdout)
+}
+
+// serveCRAN demos the sharded serving tier: a generated bursty city
+// workload of cells × 2 UE streams is routed across `shards` fleet
+// shards of 4 simulated QPUs each, with one shard's pool dying mid-run
+// so cross-shard failover shows up in the report.
+func serveCRAN(shards, cells int, placement string, seed uint64, tel *cli.Telemetry) error {
+	pol, err := cran.ParsePlacement(placement)
+	if err != nil {
+		return err
+	}
+	const duration = 30_000.0
+	reqs, err := cran.Workload{
+		Cells: cells, UEsPerCell: 2,
+		DurationMicros:  duration,
+		FramesPerSecond: 150,
+		Diurnal:         cran.DefaultDiurnal(),
+		BurstProb:       0.25, BurstFactor: 2.5,
+		NumReads:       8,
+		DeadlineMicros: 20_000,
+		Seed:           seed,
+	}.Generate()
+	if err != nil {
+		return err
+	}
+	pools := make([][]fleet.Device, shards)
+	for s := range pools {
+		pools[s] = fleet.DefaultDevices(4)
+	}
+	if shards >= 2 {
+		// Kill shard 1 halfway through so the demo exercises failover.
+		for d := range pools[1] {
+			pools[1][d].FailAt = duration / 2
+		}
+	}
+	out, err := cran.Serve(context.Background(), cran.Config{
+		Shards:           pools,
+		Placement:        pol,
+		Fleet:            fleet.Config{BatchMax: 4},
+		AdmitQueueMicros: 15_000,
+		EstReadMicros:    350,
+		Seed:             seed,
+		Trace:            tel.Tracer,
+		Metrics:          tel.Registry,
+	}, reqs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cran: %d shards × 4 QPUs serving %d cells (%d frames)\n\n",
+		shards, cells, len(reqs))
 	return out.Report.WriteTable(os.Stdout)
 }
 

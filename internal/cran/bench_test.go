@@ -1,0 +1,110 @@
+package cran
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/telemetry"
+)
+
+var (
+	benchWorkloadOnce sync.Once
+	benchWorkload     []Request
+)
+
+// benchRequests is the tier's reference city workload: 64 cells × 2 UEs
+// of mixed-class diurnal traffic arriving faster than one shard drains
+// it, so added shards translate into throughput.
+func benchRequests(b *testing.B) []Request {
+	b.Helper()
+	benchWorkloadOnce.Do(func() {
+		var err error
+		benchWorkload, err = Workload{
+			Cells: 64, UEsPerCell: 2,
+			DurationMicros:  100_000,
+			FramesPerSecond: 300,
+			Diurnal:         DefaultDiurnal(),
+			BurstProb:       0.2, BurstFactor: 2,
+			NumReads: 30,
+			Seed:     1,
+		}.Generate()
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+	if len(benchWorkload) == 0 {
+		b.Fatal("bench workload is empty")
+	}
+	return benchWorkload
+}
+
+// benchCRANConfig is the Config payload of a tier benchmark's
+// BENCH_*.json record.
+type benchCRANConfig struct {
+	Shards           int     `json:"shards"`
+	Devices          int     `json:"devices"`
+	Cells            int     `json:"cells"`
+	Frames           int     `json:"frames"`
+	Reads            int     `json:"reads"`
+	FramesPerSecond  float64 `json:"frames_per_sec_simulated"`
+	P99LatencyMicros float64 `json:"p99_latency_us"`
+	ShedRate         float64 `json:"shed_rate"`
+}
+
+func benchmarkCRANServe(b *testing.B, shards int) {
+	reqs := benchRequests(b)
+	pools := make([][]fleet.Device, shards)
+	for s := range pools {
+		pools[s] = fleet.DefaultDevices(4)
+	}
+	cfg := Config{
+		Shards: pools,
+		Fleet:  fleet.Config{BatchMax: 4, StreamQueueBound: 64},
+		Seed:   1,
+	}
+	var last *Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Serve(context.Background(), cfg, reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	rep := last.Report
+	b.ReportMetric(rep.ThroughputPerSecond, "frames/sim-s")
+	b.ReportMetric(rep.P99LatencyMicros, "p99-latency-µs")
+	if dir := os.Getenv(telemetry.BenchJSONDirEnv); dir != "" {
+		cfgRec := benchCRANConfig{
+			Shards: shards, Devices: rep.Devices, Cells: rep.Cells,
+			Frames: len(reqs), Reads: 30,
+			FramesPerSecond:  rep.ThroughputPerSecond,
+			P99LatencyMicros: rep.P99LatencyMicros,
+			ShedRate:         rep.ShedRate,
+		}
+		rec := telemetry.BenchRecord{
+			Name:       fmt.Sprintf("CRANServeShards%d", shards),
+			NsPerOp:    float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+			Iterations: b.N,
+			Config:     cfgRec,
+			Series: fmt.Sprintf("shards=%d devices=%d cells=%d frames=%d fps=%.1f p99_latency_us=%.0f shed=%.3f",
+				shards, rep.Devices, rep.Cells, len(reqs), rep.ThroughputPerSecond, rep.P99LatencyMicros, rep.ShedRate),
+		}
+		if err := telemetry.WriteBenchJSON(dir, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCRANServe(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchmarkCRANServe(b, shards)
+		})
+	}
+}

@@ -1,0 +1,297 @@
+package cran
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+)
+
+// checkTierInvariants asserts the routing properties every placement
+// policy must uphold, whatever the load, deaths, or backpressure:
+//   - conservation: exactly one outcome per request, and every frame is
+//     exactly one of served or shed (router- or shard-level);
+//   - placement discipline: every admitted frame ran on the shard its
+//     cell's recorded epoch placed it on, the epoch was active at the
+//     frame's arrival, and that shard's pool was alive then;
+//   - router-shed frames carry a reason and a classical answer.
+func checkTierInvariants(t *testing.T, cfg Config, reqs []Request, res *Result) {
+	t.Helper()
+	if len(res.Outcomes) != len(reqs) {
+		t.Fatalf("%d outcomes for %d requests", len(res.Outcomes), len(reqs))
+	}
+	want := map[[3]int]bool{}
+	for _, r := range reqs {
+		want[[3]int{r.Cell, r.UE, r.Seq}] = true
+	}
+	// epochs[cell] is the cell's placement history in epoch order.
+	epochs := map[int][]PlacementRecord{}
+	for _, p := range res.Placements {
+		if p.Epoch != len(epochs[p.Cell]) {
+			t.Fatalf("cell %d epoch history has a gap: %+v", p.Cell, res.Placements)
+		}
+		epochs[p.Cell] = append(epochs[p.Cell], p)
+	}
+
+	seen := map[[3]int]bool{}
+	served, shed, routerShed, failedOver := 0, 0, 0, 0
+	for _, o := range res.Outcomes {
+		k := [3]int{o.Cell, o.UE, o.Seq}
+		if !want[k] {
+			t.Fatalf("outcome for unknown frame %v", k)
+		}
+		if seen[k] {
+			t.Fatalf("frame %v reported twice", k)
+		}
+		seen[k] = true
+		if o.Frame.Stream != StreamID(o.Cell, o.UE) || o.Frame.Seq != o.Seq {
+			t.Fatalf("frame %v identity mismatch: %+v", k, o.Frame)
+		}
+		if o.FailedOver {
+			failedOver++
+		}
+		switch {
+		case o.RouterShed:
+			routerShed++
+			shed++
+			if o.Shard != -1 {
+				t.Fatalf("router-shed frame %v claims shard %d", k, o.Shard)
+			}
+			if o.Frame.ShedReason != ShedNoLiveShard && o.Frame.ShedReason != ShedShardBackpressure {
+				t.Fatalf("router-shed frame %v has reason %q", k, o.Frame.ShedReason)
+			}
+			if !o.Frame.Shed || o.Frame.Source != core.AnswerClassicalFallback || len(o.Frame.Best.Spins) == 0 {
+				t.Fatalf("router-shed frame %v lacks a fallback answer: %+v", k, o.Frame)
+			}
+		case o.Frame.Shed:
+			shed++
+			if o.Shard < 0 || o.Shard >= len(cfg.Shards) {
+				t.Fatalf("shard-shed frame %v has shard %d", k, o.Shard)
+			}
+		default:
+			served++
+			if o.Shard < 0 || o.Shard >= len(cfg.Shards) {
+				t.Fatalf("served frame %v has shard %d", k, o.Shard)
+			}
+		}
+		if o.Shard >= 0 {
+			// Placement discipline: the admitting epoch exists, names this
+			// shard, and was active at the frame's arrival.
+			hist := epochs[o.Cell]
+			if o.Epoch >= len(hist) {
+				t.Fatalf("frame %v admitted under unrecorded epoch %d (history %+v)", k, o.Epoch, hist)
+			}
+			rec := hist[o.Epoch]
+			if rec.Shard != o.Shard {
+				t.Fatalf("frame %v served by shard %d but epoch %d placed cell on %d", k, o.Shard, o.Epoch, rec.Shard)
+			}
+			if rec.SinceMicros > o.Frame.Arrival {
+				t.Fatalf("frame %v (arrival %g) admitted under epoch %d established later at %g",
+					k, o.Frame.Arrival, o.Epoch, rec.SinceMicros)
+			}
+			if o.Epoch+1 < len(hist) && hist[o.Epoch+1].SinceMicros < o.Frame.Arrival {
+				t.Fatalf("frame %v (arrival %g) admitted under epoch %d after epoch %d took over at %g",
+					k, o.Frame.Arrival, o.Epoch, o.Epoch+1, hist[o.Epoch+1].SinceMicros)
+			}
+			if dead := fleet.PoolDeadAt(cfg.Shards[o.Shard]); dead <= o.Frame.Arrival {
+				t.Fatalf("frame %v admitted to shard %d dead since %g", k, o.Shard, dead)
+			}
+			if (o.Epoch > 0) != o.FailedOver {
+				t.Fatalf("frame %v failover flag disagrees with epoch %d", k, o.Epoch)
+			}
+		}
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("%d frames answered of %d submitted", len(seen), len(want))
+	}
+	rep := res.Report
+	if served != rep.Served || shed != rep.Shed || served+shed != len(reqs) {
+		t.Fatalf("conservation broken: served=%d shed=%d frames=%d report=%+v", served, shed, len(reqs), rep)
+	}
+	if routerShed != rep.RouterShed || rep.Admitted != len(reqs)-routerShed {
+		t.Fatalf("admission miscounted: routerShed=%d report=%+v", routerShed, rep)
+	}
+	if failedOver != rep.FailedOverFrames {
+		t.Fatalf("failed-over frames miscounted: %d vs report %d", failedOver, rep.FailedOverFrames)
+	}
+}
+
+// tierScenario is a hostile mixed scenario: one shard dead from the
+// start, one dying mid-run, backpressure on, deadlines tight.
+func tierScenario(t *testing.T, placement Placement) (Config, []Request) {
+	t.Helper()
+	shards := logicalShards(4, 2)
+	// Kill cell 0's hash owner almost immediately (under load-aware every
+	// shard hosts cells anyway) and another shard mid-run.
+	victim := buildRing(4, 64, 0xBEEF).place(0)
+	shards[victim][0].FailAt = 1
+	shards[victim][1].FailAt = 1
+	other := (victim + 1) % 4
+	shards[other][0].FailAt = 700
+	shards[other][1].FailAt = 900
+	cfg := Config{
+		Shards:           shards,
+		Placement:        placement,
+		Fleet:            fleet.Config{NumReads: 4, BatchMax: 2, StreamQueueBound: 4},
+		AdmitQueueMicros: 4_000,
+		EstReadMicros:    30,
+		Seed:             0xBEEF,
+	}
+	reqs := cityRequests(t, 10, 2, 5, 300, 6_000)
+	return cfg, reqs
+}
+
+func TestTierInvariants(t *testing.T) {
+	for _, placement := range []Placement{PlacementHash, PlacementLoadAware} {
+		t.Run(placement.String(), func(t *testing.T) {
+			cfg, reqs := tierScenario(t, placement)
+			res, err := Serve(context.Background(), cfg, reqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Report.Failovers == 0 {
+				t.Fatal("scenario produced no failovers; it is not exercising the property")
+			}
+			checkTierInvariants(t, cfg, reqs, res)
+		})
+	}
+}
+
+// TestLoadAwareBalance pins the load-aware policy's point: with uniform
+// cells, placement spreads load within a factor of the shard count.
+func TestLoadAwareBalance(t *testing.T) {
+	cfg := Config{
+		Shards:    logicalShards(4, 1),
+		Placement: PlacementLoadAware,
+		Fleet:     fleet.Config{NumReads: 4},
+		Seed:      5,
+	}
+	reqs := cityRequests(t, 32, 1, 2, 100, 0)
+	res, err := Serve(context.Background(), cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	for _, p := range res.Placements {
+		counts[p.Shard]++
+	}
+	for s, c := range counts {
+		if c != 8 {
+			t.Fatalf("load-aware placed %d uniform cells on shard %d, want 8 (counts %v)", c, s, counts)
+		}
+	}
+}
+
+// FuzzCellPlacement asserts the consistent-hash ring's contract over
+// arbitrary shapes: placement is total (a valid shard for every cell),
+// stable (a pure function of cell and ring shape, with the failover walk
+// starting at the owner and visiting every shard exactly once), and —
+// for populations of ≥ 64 cells per shard at ≥ 64 virtual nodes —
+// balanced within the documented 4× bound.
+func FuzzCellPlacement(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(64), uint16(512))
+	f.Add(uint64(0xC4A17), uint8(8), uint8(64), uint16(1024))
+	f.Add(uint64(7), uint8(1), uint8(1), uint16(16))
+	f.Add(uint64(42), uint8(16), uint8(128), uint16(2000))
+	f.Fuzz(func(t *testing.T, seed uint64, shards, vnodes uint8, cells uint16) {
+		ns := int(shards)%16 + 1
+		nv := int(vnodes)%128 + 1
+		nc := int(cells)%4096 + 1
+
+		r := buildRing(ns, nv, seed)
+		again := buildRing(ns, nv, seed)
+		counts := make([]int, ns)
+		for cell := 0; cell < nc; cell++ {
+			s := r.place(cell)
+			if s < 0 || s >= ns {
+				t.Fatalf("cell %d placed on shard %d of %d", cell, s, ns)
+			}
+			if s2 := again.place(cell); s2 != s {
+				t.Fatalf("cell %d placement unstable: %d then %d", cell, s, s2)
+			}
+			succ := r.successors(cell)
+			if len(succ) != ns || succ[0] != s {
+				t.Fatalf("cell %d failover walk %v does not start at owner %d or cover %d shards", cell, succ, s, ns)
+			}
+			hit := make([]bool, ns)
+			for _, x := range succ {
+				if x < 0 || x >= ns || hit[x] {
+					t.Fatalf("cell %d failover walk %v is not a shard permutation", cell, succ)
+				}
+				hit[x] = true
+			}
+			counts[s]++
+		}
+		if nv >= 64 && nc >= 64*ns {
+			mean := float64(nc) / float64(ns)
+			for s, c := range counts {
+				if float64(c) > 4*mean {
+					t.Fatalf("shard %d owns %d of %d cells (mean %.1f): beyond the documented 4x bound", s, c, nc, mean)
+				}
+			}
+		}
+	})
+}
+
+// FuzzTierRoute generates random but conforming city workloads and tier
+// shapes, then asserts the routing invariants hold and the run is
+// reproducible.
+func FuzzTierRoute(f *testing.F) {
+	f.Add(uint64(1), uint8(2), uint8(6), uint8(0), uint16(0), false)
+	f.Add(uint64(9), uint8(4), uint8(12), uint8(1), uint16(2000), true)
+	f.Fuzz(func(t *testing.T, seed uint64, shards, cells, placement uint8, admit uint16, deaths bool) {
+		ns := int(shards)%4 + 1
+		nc := int(cells)%12 + 1
+		pol := Placement(int(placement) % 2)
+
+		cfg := Config{
+			Shards:           logicalShards(ns, 2),
+			Placement:        pol,
+			Fleet:            fleet.Config{NumReads: 2, BatchMax: 2, StreamQueueBound: 3},
+			AdmitQueueMicros: float64(admit),
+			EstReadMicros:    40,
+			Seed:             seed,
+		}
+		if deaths {
+			cfg.Shards[0][0].FailAt = 500
+			cfg.Shards[0][1].FailAt = 700
+		}
+		reqs := cityRequests(t, nc, 2, 3, 150, 4_000)
+		res, err := Serve(context.Background(), cfg, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTierInvariants(t, cfg, reqs, res)
+
+		again, err := Serve(context.Background(), cfg, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ja, _ := json.Marshal(res.Outcomes)
+		jb, _ := json.Marshal(again.Outcomes)
+		if !bytes.Equal(ja, jb) {
+			t.Fatal("re-run diverged")
+		}
+	})
+}
+
+// TestRingSuccessorOrderMatchesPlacement pins the documented failover
+// semantics: successors is the clockwise shard order, so the first live
+// entry is the failover target the router must choose.
+func TestRingSuccessorOrderMatchesPlacement(t *testing.T) {
+	r := buildRing(5, 64, 123)
+	for cell := 0; cell < 200; cell++ {
+		succ := r.successors(cell)
+		sorted := append([]int(nil), succ...)
+		sort.Ints(sorted)
+		for s := 0; s < 5; s++ {
+			if sorted[s] != s {
+				t.Fatalf("cell %d walk %v misses shard %d", cell, succ, s)
+			}
+		}
+	}
+}

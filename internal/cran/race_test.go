@@ -1,0 +1,104 @@
+package cran
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/annealer"
+	"repro/internal/fleet"
+	"repro/internal/telemetry"
+)
+
+// TestCRANStressRace hammers the tier under the race detector: one
+// shard's whole pool dying mid-flight (cross-shard failover), device
+// faults, backpressure, full shard concurrency, and two Serves running
+// concurrently against a SHARED tracer and registry — the shard-labeled
+// telemetry merge is part of the surface under test.
+func TestCRANStressRace(t *testing.T) {
+	shards := logicalShards(4, 2)
+	// Shard 1 dies entirely mid-run (before the last arrivals, so
+	// failover fires); shard 2 is flaky.
+	shards[1][0].FailAt = 1_000
+	shards[1][1].FailAt = 1_200
+	shards[2][0].Faults = annealer.FaultModel{ProgrammingFailureRate: 0.3}
+	shards[2][1].Faults = annealer.FaultModel{ReadTimeoutRate: 0.3, ChainBreakStormRate: 0.2}
+
+	tracer := telemetry.NewTracer()
+	registry := telemetry.NewRegistry()
+	var wg sync.WaitGroup
+	for run := 0; run < 2; run++ {
+		wg.Add(1)
+		go func(run int) {
+			defer wg.Done()
+			cfg := Config{
+				Shards: shards,
+				Fleet: fleet.Config{
+					Policy:           fleet.PolicyEDF,
+					NumReads:         4,
+					BatchMax:         3,
+					StreamQueueBound: 4,
+					Workers:          8,
+				},
+				AdmitQueueMicros: 5_000,
+				EstReadMicros:    20,
+				ShardWorkers:     4,
+				Seed:             uint64(run + 1),
+				Trace:            tracer,
+				Metrics:          registry,
+			}
+			reqs := cityRequests(t, 12, 2, 6, 400, 8_000)
+			res, err := Serve(context.Background(), cfg, reqs)
+			if err != nil {
+				t.Errorf("run %d: %v", run, err)
+				return
+			}
+			if len(res.Outcomes) != len(reqs) {
+				t.Errorf("run %d: %d outcomes for %d requests", run, len(res.Outcomes), len(reqs))
+			}
+			if res.Report.Failovers == 0 {
+				t.Errorf("run %d: dead shard produced no failovers", run)
+			}
+		}(run)
+	}
+	wg.Wait()
+	if tracer.Len() == 0 {
+		t.Fatal("shared tracer collected nothing")
+	}
+}
+
+// TestCRANServeCancellation covers both cancellation surfaces: a context
+// cancelled before Serve, and one cancelled while shards are in flight.
+func TestCRANServeCancellation(t *testing.T) {
+	cfg := Config{
+		Shards: logicalShards(2, 1),
+		Fleet:  fleet.Config{NumReads: 4},
+		Seed:   1,
+	}
+	reqs := cityRequests(t, 4, 2, 4, 10, 0)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Serve(ctx, cfg, reqs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Serve returned %v, want context.Canceled", err)
+	}
+
+	ctx, cancel = context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(time.Millisecond)
+		cancel()
+	}()
+	// Either the run slips in before the cancel or it reports the
+	// cancellation — both are correct; racing must never corrupt.
+	big := Config{
+		Shards: logicalShards(2, 1),
+		Fleet:  fleet.Config{NumReads: 400, Workers: 2},
+		Seed:   1,
+	}
+	if _, err := Serve(ctx, big, cityRequests(t, 6, 1, 10, 0, 0)); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-flight cancel returned %v", err)
+	}
+	cancel()
+}

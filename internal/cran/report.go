@@ -1,0 +1,184 @@
+package cran
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// ShardStats aggregates one shard's slice of the tier run.
+type ShardStats struct {
+	Shard int `json:"shard"`
+	// Cells counts cells whose final placement epoch lives on this shard.
+	Cells   int `json:"cells"`
+	Devices int `json:"devices"`
+	Frames  int `json:"frames"`
+	Served  int `json:"served"`
+	Shed    int `json:"shed"`
+	// MeanUtilization averages device utilization from the shard's fleet
+	// report.
+	MeanUtilization float64 `json:"mean_utilization"`
+}
+
+// Report summarizes one tier Serve call.
+type Report struct {
+	Placement string `json:"placement"`
+	Shards    int    `json:"shards"`
+	Devices   int    `json:"devices"`
+	Cells     int    `json:"cells"`
+	Streams   int    `json:"streams"`
+	Frames    int    `json:"frames"`
+	// Admitted frames reached a shard dispatcher; RouterShed frames were
+	// answered classically at admission. Admitted + RouterShed = Frames.
+	Admitted   int `json:"admitted"`
+	RouterShed int `json:"router_shed"`
+	// Failovers counts cell moves; FailedOverFrames counts frames
+	// admitted under an epoch > 0.
+	Failovers        int `json:"failovers"`
+	FailedOverFrames int `json:"failed_over_frames"`
+	// Served/Shed partition all frames: Shed includes both router- and
+	// shard-level sheds.
+	Served int `json:"served"`
+	Shed   int `json:"shed"`
+	// MakespanMicros spans simulated time zero to the last finish.
+	MakespanMicros float64 `json:"makespan_us"`
+	// ThroughputPerSecond is served frames per simulated second.
+	ThroughputPerSecond float64 `json:"throughput_fps"`
+	// Latency figures are Finish − Arrival over served frames.
+	MeanLatencyMicros float64 `json:"mean_latency_us"`
+	P50LatencyMicros  float64 `json:"p50_latency_us"`
+	P99LatencyMicros  float64 `json:"p99_latency_us"`
+	P99QueueMicros    float64 `json:"p99_queue_us"`
+	DeadlineMissRate  float64 `json:"deadline_miss_rate"`
+	ShedRate          float64 `json:"shed_rate"`
+
+	ShardRows []ShardStats `json:"shard_rows"`
+}
+
+// percentile returns the p-quantile (0 ≤ p ≤ 1) of sorted xs by
+// nearest-rank, 0 for empty input (matches the fleet's convention).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted)) + 0.5)
+	if i < 1 {
+		i = 1
+	}
+	if i > len(sorted) {
+		i = len(sorted)
+	}
+	return sorted[i-1]
+}
+
+// report aggregates the run into a Report.
+func (rt *router) report(res *Result) Report {
+	rep := Report{
+		Placement:  rt.cfg.Placement.String(),
+		Shards:     len(rt.cfg.Shards),
+		Failovers:  rt.failovers,
+		RouterShed: rt.routerShed,
+		Frames:     len(res.Outcomes),
+	}
+	for _, devs := range rt.cfg.Shards {
+		rep.Devices += len(devs)
+	}
+
+	cells := map[int]bool{}
+	streams := map[int]bool{}
+	perShard := make([]ShardStats, len(rt.cfg.Shards))
+	for s := range perShard {
+		perShard[s].Shard = s
+		perShard[s].Devices = len(rt.cfg.Shards[s])
+		fr := res.ShardReports[s]
+		var util float64
+		for _, d := range fr.Devices {
+			util += d.Utilization
+		}
+		if len(fr.Devices) > 0 {
+			util /= float64(len(fr.Devices))
+		}
+		perShard[s].MeanUtilization = util
+	}
+	for _, cs := range rt.cells {
+		perShard[cs.shard].Cells++
+	}
+
+	var latencies, queues []float64
+	var latSum float64
+	misses := 0
+	for i := range res.Outcomes {
+		o := &res.Outcomes[i]
+		cells[o.Cell] = true
+		streams[StreamID(o.Cell, o.UE)] = true
+		if o.Frame.Finish > rep.MakespanMicros {
+			rep.MakespanMicros = o.Frame.Finish
+		}
+		if o.FailedOver {
+			rep.FailedOverFrames++
+		}
+		if o.Shard >= 0 {
+			rep.Admitted++
+			perShard[o.Shard].Frames++
+		}
+		if o.Frame.Shed {
+			rep.Shed++
+			if o.Shard >= 0 {
+				perShard[o.Shard].Shed++
+			}
+		} else {
+			rep.Served++
+			perShard[o.Shard].Served++
+			lat := o.Frame.Finish - o.Frame.Arrival
+			latencies = append(latencies, lat)
+			queues = append(queues, o.Frame.QueueMicros)
+			latSum += lat
+		}
+		if o.Frame.DeadlineMissed {
+			misses++
+		}
+	}
+	rep.Cells = len(cells)
+	rep.Streams = len(streams)
+	if rep.Served > 0 {
+		rep.MeanLatencyMicros = latSum / float64(rep.Served)
+	}
+	sort.Float64s(latencies)
+	sort.Float64s(queues)
+	rep.P50LatencyMicros = percentile(latencies, 0.50)
+	rep.P99LatencyMicros = percentile(latencies, 0.99)
+	rep.P99QueueMicros = percentile(queues, 0.99)
+	if rep.Frames > 0 {
+		rep.DeadlineMissRate = float64(misses) / float64(rep.Frames)
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Frames)
+	}
+	if rep.MakespanMicros > 0 {
+		rep.ThroughputPerSecond = float64(rep.Served) / rep.MakespanMicros * 1e6
+	}
+	rep.ShardRows = perShard
+	return rep
+}
+
+// WriteTable renders the report for terminals.
+func (r Report) WriteTable(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "placement\t%s (%d shards, %d devices)\n", r.Placement, r.Shards, r.Devices)
+	fmt.Fprintf(tw, "workload\t%d cells, %d streams, %d frames\n", r.Cells, r.Streams, r.Frames)
+	fmt.Fprintf(tw, "admission\t%d admitted, %d router-shed\n", r.Admitted, r.RouterShed)
+	fmt.Fprintf(tw, "failover\t%d cell moves, %d frames on failover shards\n", r.Failovers, r.FailedOverFrames)
+	fmt.Fprintf(tw, "frames\tserved %d, shed %d (%.1f%%)\n", r.Served, r.Shed, 100*r.ShedRate)
+	fmt.Fprintf(tw, "makespan\t%.0f µs\n", r.MakespanMicros)
+	fmt.Fprintf(tw, "throughput\t%.1f frames/s\n", r.ThroughputPerSecond)
+	fmt.Fprintf(tw, "latency\tmean %.0f µs, p50 %.0f µs, p99 %.0f µs\n",
+		r.MeanLatencyMicros, r.P50LatencyMicros, r.P99LatencyMicros)
+	fmt.Fprintf(tw, "queueing\tp99 %.0f µs\n", r.P99QueueMicros)
+	fmt.Fprintf(tw, "deadline misses\t%.1f%%\n", 100*r.DeadlineMissRate)
+	fmt.Fprintln(tw)
+	fmt.Fprintln(tw, "shard\tcells\tdevices\tframes\tserved\tshed\tutilization")
+	for _, s := range r.ShardRows {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%.1f%%\n",
+			s.Shard, s.Cells, s.Devices, s.Frames, s.Served, s.Shed, 100*s.MeanUtilization)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,202 @@
+package cran
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/modulation"
+)
+
+// validWorkload is a small spec every rejection case below perturbs.
+func validWorkload() Workload {
+	return Workload{
+		Cells: 4, UEsPerCell: 2,
+		DurationMicros:  10_000,
+		FramesPerSecond: 800,
+		Diurnal:         []float64{1},
+		Seed:            1,
+	}
+}
+
+func TestWorkloadValidateRejections(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name string
+		mut  func(*Workload)
+	}{
+		{"zero-cells", func(w *Workload) { w.Cells = 0 }},
+		{"negative-cells", func(w *Workload) { w.Cells = -3 }},
+		{"too-many-cells", func(w *Workload) { w.Cells = MaxCells + 1 }},
+		{"zero-ues", func(w *Workload) { w.UEsPerCell = 0 }},
+		{"too-many-ues", func(w *Workload) { w.UEsPerCell = MaxUEsPerCell + 1 }},
+		{"zero-duration", func(w *Workload) { w.DurationMicros = 0 }},
+		{"nan-duration", func(w *Workload) { w.DurationMicros = nan }},
+		{"inf-duration", func(w *Workload) { w.DurationMicros = inf }},
+		{"zero-rate", func(w *Workload) { w.FramesPerSecond = 0 }},
+		{"negative-rate", func(w *Workload) { w.FramesPerSecond = -5 }},
+		{"nan-rate", func(w *Workload) { w.FramesPerSecond = nan }},
+		{"inf-rate", func(w *Workload) { w.FramesPerSecond = inf }},
+		{"empty-diurnal", func(w *Workload) { w.Diurnal = nil }},
+		{"all-zero-diurnal", func(w *Workload) { w.Diurnal = []float64{0, 0} }},
+		{"negative-diurnal", func(w *Workload) { w.Diurnal = []float64{1, -0.5} }},
+		{"nan-diurnal", func(w *Workload) { w.Diurnal = []float64{1, nan} }},
+		{"inf-diurnal", func(w *Workload) { w.Diurnal = []float64{1, inf} }},
+		{"bad-burst-prob", func(w *Workload) { w.BurstProb = 1.5 }},
+		{"nan-burst-prob", func(w *Workload) { w.BurstProb = nan }},
+		{"small-burst-factor", func(w *Workload) { w.BurstProb = 0.5; w.BurstFactor = 0.5 }},
+		{"inf-burst-factor", func(w *Workload) { w.BurstProb = 0.5; w.BurstFactor = inf }},
+		{"zero-user-class", func(w *Workload) { w.Classes = []Class{{Users: 0, Scheme: modulation.QPSK, Weight: 1}} }},
+		{"zero-weight-class", func(w *Workload) { w.Classes = []Class{{Users: 2, Scheme: modulation.QPSK, Weight: 0}} }},
+		{"nan-weight-class", func(w *Workload) { w.Classes = []Class{{Users: 2, Scheme: modulation.QPSK, Weight: nan}} }},
+		{"negative-corpus", func(w *Workload) { w.Instances = -1 }},
+		{"nan-deadline", func(w *Workload) { w.DeadlineMicros = nan }},
+		{"negative-deadline", func(w *Workload) { w.DeadlineMicros = -1 }},
+		{"negative-reads", func(w *Workload) { w.NumReads = -1 }},
+		{"negative-cap", func(w *Workload) { w.MaxFrames = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := validWorkload()
+			tc.mut(&w)
+			if err := w.Validate(); err == nil {
+				t.Fatalf("spec %+v accepted", w)
+			}
+			if _, err := w.Generate(); err == nil {
+				t.Fatal("Generate accepted an invalid spec")
+			}
+		})
+	}
+	if err := validWorkload().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+func TestWorkloadGenerateShape(t *testing.T) {
+	w := validWorkload()
+	w.BurstProb, w.BurstFactor = 0.4, 2
+	w.DeadlineMicros = 5_000
+	w.NumReads = 7
+	reqs, err := w.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) == 0 {
+		t.Fatal("workload generated no frames")
+	}
+	if err := ValidateRequests(reqs); err != nil {
+		t.Fatalf("generated set fails tier validation: %v", err)
+	}
+	// Sorted by arrival; seqs contiguous from 0 per stream in time order.
+	nextSeq := map[int]int{}
+	for i, r := range reqs {
+		if i > 0 && r.Arrival < reqs[i-1].Arrival {
+			t.Fatalf("arrivals unsorted at %d", i)
+		}
+		if r.Deadline != 5_000 || r.NumReads != 7 {
+			t.Fatalf("frame %d not stamped with spec overrides: %+v", i, r)
+		}
+		sid := StreamID(r.Cell, r.UE)
+		if r.Seq != nextSeq[sid] {
+			t.Fatalf("stream %d: seq %d out of order (want %d)", sid, r.Seq, nextSeq[sid])
+		}
+		nextSeq[sid]++
+	}
+}
+
+func TestWorkloadMaxFramesIsTimePrefix(t *testing.T) {
+	w := validWorkload()
+	full, err := w.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) < 4 {
+		t.Fatalf("workload too small to truncate: %d frames", len(full))
+	}
+	w.MaxFrames = len(full) / 2
+	cut, err := w.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cut) != w.MaxFrames {
+		t.Fatalf("cap %d produced %d frames", w.MaxFrames, len(cut))
+	}
+	for i, r := range cut {
+		if r.Cell != full[i].Cell || r.UE != full[i].UE || r.Seq != full[i].Seq || r.Arrival != full[i].Arrival {
+			t.Fatalf("truncation is not a prefix at %d", i)
+		}
+	}
+	if err := ValidateRequests(cut); err != nil {
+		t.Fatalf("truncated set fails validation: %v", err)
+	}
+}
+
+// TestWorkloadDiurnalModulation pins the profile semantics: a zero
+// bucket generates no arrivals in its window.
+func TestWorkloadDiurnalModulation(t *testing.T) {
+	w := validWorkload()
+	w.Cells, w.UEsPerCell = 8, 4
+	w.Diurnal = []float64{0, 1}
+	reqs, err := w.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) == 0 {
+		t.Fatal("no frames in the live bucket")
+	}
+	half := w.DurationMicros / 2
+	for _, r := range reqs {
+		if r.Arrival < half {
+			t.Fatalf("frame at %g µs inside the zero-rate bucket", r.Arrival)
+		}
+	}
+}
+
+// TestWorkloadBurstsRaiseRate pins burst semantics: forcing bursts on
+// every bucket multiplies the arrival count.
+func TestWorkloadBurstsRaiseRate(t *testing.T) {
+	base := validWorkload()
+	base.Cells, base.UEsPerCell = 8, 4
+	calm, err := base.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bursty := base
+	bursty.BurstProb, bursty.BurstFactor = 1, 4
+	hot, err := bursty.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hot) <= len(calm) {
+		t.Fatalf("bursting every bucket 4x produced %d frames vs %d calm", len(hot), len(calm))
+	}
+}
+
+// TestWorkloadClassMix pins the mixed-modulation story: distinct classes
+// produce distinct problem sizes across cells.
+func TestWorkloadClassMix(t *testing.T) {
+	w := validWorkload()
+	w.Cells = 24
+	w.Classes = []Class{
+		{Users: 2, Scheme: modulation.QPSK, Weight: 1},  // 4 spins
+		{Users: 2, Scheme: modulation.QAM16, Weight: 1}, // 8 spins
+	}
+	reqs, err := w.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[int]bool{}
+	cellSize := map[int]int{}
+	for _, r := range reqs {
+		sizes[r.Problem.N] = true
+		if prev, ok := cellSize[r.Cell]; ok && prev != r.Problem.N {
+			t.Fatalf("cell %d mixes classes within its lifetime", r.Cell)
+		}
+		cellSize[r.Cell] = r.Problem.N
+		if len(r.InitialState) != r.Problem.N {
+			t.Fatalf("candidate sized %d for %d-spin problem", len(r.InitialState), r.Problem.N)
+		}
+	}
+	if len(sizes) < 2 {
+		t.Fatalf("24 cells drew only problem sizes %v", sizes)
+	}
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cran"
+)
+
+// TestCRANShardScaling gates the tier's acceptance criterion: on the
+// city overload workload, a 4-shard tier must deliver at least 2.5× the
+// single-shard throughput, with throughput monotone in shard count and
+// nothing shed on the scaling sweep (shedding is disabled there — any
+// shed frame means a queue-bound leak).
+func TestCRANShardScaling(t *testing.T) {
+	res, err := RunCRAN(Quick(), 4, 24, cran.PlacementHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scaling) != 3 {
+		t.Fatalf("scaling rows %+v, want shards 1/2/4", res.Scaling)
+	}
+	prev := 0.0
+	for _, row := range res.Scaling {
+		if row.Shed != 0 {
+			t.Fatalf("%d shards shed %d frames with shedding disabled", row.Shards, row.Shed)
+		}
+		if row.ThroughputPerSecond <= prev {
+			t.Fatalf("throughput not monotone: %d shards at %.1f fps after %.1f",
+				row.Shards, row.ThroughputPerSecond, prev)
+		}
+		prev = row.ThroughputPerSecond
+	}
+	last := res.Scaling[len(res.Scaling)-1]
+	if last.Shards != 4 || last.Speedup < 2.5 {
+		t.Fatalf("4-shard speedup %.2f×, want ≥ 2.5×", last.Speedup)
+	}
+
+	// The capacity sweep must show saturation: shed rate non-decreasing
+	// in offered load and strictly positive once the tier is overloaded.
+	if len(res.Load) != 4 {
+		t.Fatalf("load rows %+v, want 0.5/1/2/3×", res.Load)
+	}
+	prevShed := -1.0
+	for _, row := range res.Load {
+		if row.Frames == 0 || row.Served == 0 {
+			t.Fatalf("load point %gx served nothing: %+v", row.Multiplier, row)
+		}
+		if row.ShedRate < prevShed {
+			t.Fatalf("shed rate fell from %.3f to %.3f at %gx offered load",
+				prevShed, row.ShedRate, row.Multiplier)
+		}
+		prevShed = row.ShedRate
+	}
+	overload := res.Load[len(res.Load)-1]
+	if overload.ShedRate == 0 {
+		t.Fatalf("3x offered load shed nothing: %+v", overload)
+	}
+
+	var buf bytes.Buffer
+	res.WriteTable(&buf)
+	for _, want := range []string{"C-RAN capacity", "Shard scaling", "x_capacity", "speedup"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, buf.String())
+		}
+	}
+}

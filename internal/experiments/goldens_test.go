@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/cran"
 )
 
 var update = flag.Bool("update", false, "rewrite the WriteTable golden files under testdata/")
@@ -38,6 +40,7 @@ func TestWriteTableGoldens(t *testing.T) {
 		{"fig7", func(cfg Config) (tabler, error) { return tableFor(Figure7(cfg)) }},
 		{"fig8", func(cfg Config) (tabler, error) { return tableFor(Figure8(cfg)) }},
 		{"fleet", func(cfg Config) (tabler, error) { return tableFor(RunFleetScaling(cfg, 0, 0)) }},
+		{"cran", func(cfg Config) (tabler, error) { return tableFor(RunCRAN(cfg, 0, 0, cran.PlacementHash)) }},
 		{"pipeline", func(cfg Config) (tabler, error) { return tableFor(PipelineFigure(cfg, 0)) }},
 	}
 	for _, fig := range figures {

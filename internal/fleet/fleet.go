@@ -101,6 +101,28 @@ type Device struct {
 	FailAt float64
 }
 
+// PoolDeadAt returns the simulated μs at which the whole pool stops
+// accepting work: the latest FailAt when every device carries one, +Inf
+// when any device never fails, and 0 for an empty pool. The C-RAN shard
+// router plans cross-shard failover from this figure — it depends only on
+// static configuration, so the plan phase and the router agree by
+// construction.
+func PoolDeadAt(devs []Device) float64 {
+	if len(devs) == 0 {
+		return 0
+	}
+	dead := 0.0
+	for _, d := range devs {
+		if d.FailAt <= 0 {
+			return math.Inf(1)
+		}
+		if d.FailAt > dead {
+			dead = d.FailAt
+		}
+	}
+	return dead
+}
+
 // Config tunes one Serve call.
 type Config struct {
 	// Devices is the pool (required, ≥ 1). Device IDs are positional.
@@ -127,6 +149,13 @@ type Config struct {
 	// Workers is the execute-phase goroutine count (default
 	// min(GOMAXPROCS, 8)). It cannot affect results.
 	Workers int
+	// ShardLabel, when non-empty, tags every trace record and metric
+	// series this Serve emits with a shard="..." attribute/label. It is
+	// the shard-facing seam for the C-RAN tier (internal/cran): shards
+	// sharing one tracer/registry stay distinguishable, which keeps the
+	// merged trace export deterministic and per-shard gauges collision
+	// free. Empty (the default) emits exactly the standalone telemetry.
+	ShardLabel string
 	// Trace and Metrics receive dispatcher telemetry (nil-safe).
 	Trace   *telemetry.Tracer
 	Metrics *telemetry.Registry
@@ -538,6 +567,22 @@ func (pl *planner) lease(dev int, k schedKey) (*annealer.Lease, error) {
 	return l, nil
 }
 
+// tattrs injects the shard label into a trace record's attributes.
+func (pl *planner) tattrs(a telemetry.Attrs) telemetry.Attrs {
+	if pl.cfg.ShardLabel != "" {
+		a["shard"] = pl.cfg.ShardLabel
+	}
+	return a
+}
+
+// mlabels appends the shard label to a metric series' labels.
+func (pl *planner) mlabels(ls ...telemetry.Label) []telemetry.Label {
+	if pl.cfg.ShardLabel != "" {
+		ls = append(ls, telemetry.Label{Key: "shard", Value: pl.cfg.ShardLabel})
+	}
+	return ls
+}
+
 // deviceDown reports whether the device refuses new work at time t.
 func (pl *planner) deviceDown(dev int, t float64) bool {
 	f := pl.cfg.Devices[dev].FailAt
@@ -571,7 +616,7 @@ func (pl *planner) simulate() {
 	for dev := range pl.cfg.Devices {
 		if f := pl.cfg.Devices[dev].FailAt; f > 0 && !pl.downEmitted[dev] {
 			pl.downEmitted[dev] = true
-			pl.cfg.Trace.Event("fleet/device-down", f, telemetry.Attrs{"device": dev})
+			pl.cfg.Trace.Event("fleet/device-down", f, pl.tattrs(telemetry.Attrs{"device": dev}))
 		}
 	}
 }
@@ -590,7 +635,7 @@ func (pl *planner) admit(fi int) {
 	pl.queues[f.stream] = append(pl.queues[f.stream], fi)
 	pl.queued++
 	if pl.cfg.Metrics != nil {
-		pl.cfg.Metrics.Histogram("fleet_queue_depth", 0, 64, 16).Observe(float64(pl.queued))
+		pl.cfg.Metrics.Histogram("fleet_queue_depth", 0, 64, 16, pl.mlabels()...).Observe(float64(pl.queued))
 	}
 }
 
@@ -611,22 +656,22 @@ func (pl *planner) shed(fi int, reason string, t float64) {
 		Spins:  append([]int8(nil), f.req.InitialState...),
 		Energy: f.req.Problem.Energy(f.req.InitialState),
 	}
-	pl.cfg.Trace.Event("fleet/shed", t, telemetry.Attrs{"stream": f.req.Stream, "seq": f.req.Seq, "reason": reason})
+	pl.cfg.Trace.Event("fleet/shed", t, pl.tattrs(telemetry.Attrs{"stream": f.req.Stream, "seq": f.req.Seq, "reason": reason}))
 	if o.DeadlineMissed {
 		pl.deadlineMiss(fi, o.Finish)
 	}
 	if pl.cfg.Metrics != nil {
-		pl.cfg.Metrics.Counter("fleet_shed_total", telemetry.Label{Key: "reason", Value: reason}).Inc()
+		pl.cfg.Metrics.Counter("fleet_shed_total", pl.mlabels(telemetry.Label{Key: "reason", Value: reason})...).Inc()
 	}
 }
 
 func (pl *planner) deadlineMiss(fi int, at float64) {
 	f := &pl.frames[fi]
-	pl.cfg.Trace.Event("fleet/deadline-miss", at, telemetry.Attrs{"stream": f.req.Stream, "seq": f.req.Seq})
+	pl.cfg.Trace.Event("fleet/deadline-miss", at, pl.tattrs(telemetry.Attrs{"stream": f.req.Stream, "seq": f.req.Seq}))
 	if pl.cfg.Metrics != nil {
-		pl.cfg.Metrics.Counter("fleet_deadline_misses_total").Inc()
+		pl.cfg.Metrics.Counter("fleet_deadline_misses_total", pl.mlabels()...).Inc()
 		pl.cfg.Metrics.Counter("fleet_stream_deadline_misses_total",
-			telemetry.Label{Key: "stream", Value: fmt.Sprint(f.req.Stream)}).Inc()
+			pl.mlabels(telemetry.Label{Key: "stream", Value: fmt.Sprint(f.req.Stream)})...).Inc()
 	}
 }
 
@@ -827,7 +872,7 @@ func (pl *planner) launch(dev, seed int) {
 	cursor := pl.clock + prog
 	if b.faulted {
 		b.finish = cursor
-		pl.cfg.Trace.Event("fleet/device-fault", pl.clock, telemetry.Attrs{"device": dev, "batch": id})
+		pl.cfg.Trace.Event("fleet/device-fault", pl.clock, pl.tattrs(telemetry.Attrs{"device": dev, "batch": id}))
 	} else {
 		for _, fi := range b.frames {
 			f := &pl.frames[fi]
@@ -845,13 +890,13 @@ func (pl *planner) launch(dev, seed int) {
 	pl.busyUntil[dev] = b.finish
 	pl.busy[dev] += b.finish - b.start
 	pl.batches = append(pl.batches, b)
-	pl.cfg.Trace.Span("fleet/batch", b.start, b.finish, telemetry.Attrs{
+	pl.cfg.Trace.Span("fleet/batch", b.start, b.finish, pl.tattrs(telemetry.Attrs{
 		"device": dev, "batch": id, "frames": len(b.frames), "faulted": b.faulted,
-	})
+	}))
 	if pl.cfg.Metrics != nil {
-		pl.cfg.Metrics.Counter("fleet_batches_total").Inc()
+		pl.cfg.Metrics.Counter("fleet_batches_total", pl.mlabels()...).Inc()
 		if b.faulted {
-			pl.cfg.Metrics.Counter("fleet_batch_faults_total").Inc()
+			pl.cfg.Metrics.Counter("fleet_batch_faults_total", pl.mlabels()...).Inc()
 		}
 	}
 	pl.events.push(event{t: b.finish, kind: 0, a: dev, b: id, payload: id})
@@ -871,15 +916,15 @@ func (pl *planner) complete(batchID int) {
 			f := &pl.frames[fi]
 			o := &pl.outcomes[fi]
 			o.DeadlineMissed = o.Finish > f.absDeadline
-			pl.cfg.Trace.Span("fleet/frame", f.req.Arrival, o.Finish, telemetry.Attrs{
+			pl.cfg.Trace.Span("fleet/frame", f.req.Arrival, o.Finish, pl.tattrs(telemetry.Attrs{
 				"stream": f.req.Stream, "seq": f.req.Seq, "device": o.Device,
 				"batch": batchID, "attempts": o.Attempts,
-			})
+			}))
 			if o.DeadlineMissed {
 				pl.deadlineMiss(fi, o.Finish)
 			}
 			if pl.cfg.Metrics != nil {
-				pl.cfg.Metrics.Counter("fleet_frames_served_total").Inc()
+				pl.cfg.Metrics.Counter("fleet_frames_served_total", pl.mlabels()...).Inc()
 			}
 		}
 		return
@@ -896,7 +941,7 @@ func (pl *planner) complete(batchID int) {
 		requeued[f.stream] = append(requeued[f.stream], fi)
 		pl.retries++
 		if pl.cfg.Metrics != nil {
-			pl.cfg.Metrics.Counter("fleet_retries_total").Inc()
+			pl.cfg.Metrics.Counter("fleet_retries_total", pl.mlabels()...).Inc()
 		}
 	}
 	for s := range pl.queues {
@@ -1001,7 +1046,7 @@ func (pl *planner) finishTelemetry() {
 	}
 	for i := range pl.outcomes {
 		pl.cfg.Metrics.Counter("fleet_answers_total",
-			telemetry.Label{Key: "source", Value: pl.outcomes[i].Source.String()}).Inc()
+			pl.mlabels(telemetry.Label{Key: "source", Value: pl.outcomes[i].Source.String()})...).Inc()
 	}
 	makespan := pl.makespan()
 	for d := range pl.cfg.Devices {
@@ -1010,7 +1055,7 @@ func (pl *planner) finishTelemetry() {
 			util = pl.busy[d] / makespan
 		}
 		pl.cfg.Metrics.Gauge("fleet_device_utilization",
-			telemetry.Label{Key: "device", Value: fmt.Sprint(d)}).Set(util)
+			pl.mlabels(telemetry.Label{Key: "device", Value: fmt.Sprint(d)})...).Set(util)
 	}
 }
 

@@ -80,3 +80,22 @@ func TestFleetClaimGatesSerialInjection(t *testing.T) {
 		t.Fatalf("a pool serving against itself has speedup exactly 1, got %g", ests[0].CI.Value)
 	}
 }
+
+// The C-RAN claim under the cran-single-shard injection measures a
+// 1-shard tier against itself — the 2.5× gate must cross, not stall.
+func TestCRANClaimGatesSingleShardInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serves several tier workloads")
+	}
+	eval := claimByName(t, "cran-shard-scaling")
+	ests, _, err := eval(NewEnv(Options{Inject: "cran-single-shard"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 1 || ests[0].Verdict != Fail {
+		t.Fatalf("single-shard tier should fail the 2.5x gate, got %+v", ests)
+	}
+	if ests[0].CI.Value != 1.0 {
+		t.Fatalf("a tier serving against itself has speedup exactly 1, got %g", ests[0].CI.Value)
+	}
+}

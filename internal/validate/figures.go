@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/cran"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/rng"
@@ -12,7 +13,7 @@ import (
 
 // GoldenFigures lists the figures under golden-baseline regression, in
 // run order.
-var GoldenFigures = []string{"3", "4", "6", "7", "8", "pipeline", "fleet"}
+var GoldenFigures = []string{"3", "4", "6", "7", "8", "pipeline", "fleet", "cran"}
 
 // exactCI wraps a value the simulation reproduces bit-for-bit from a
 // fixed seed: a degenerate interval, so any change at all is drift.
@@ -149,6 +150,24 @@ func RunGoldenFigure(name string, opts Options) (*Golden, error) {
 				g.add(key+"/speedup", bandCI(row.Speedup, 0.2, 0.2))
 				g.add(key+"/served", exactCI(float64(row.Served)))
 				g.add(key+"/miss_rate", bandCI(row.DeadlineMissRate, 0.25, 0.05))
+			}
+		}
+	case "cran":
+		// Reduced tier (4 shards × 4 QPUs, 48 cells) so the golden check
+		// stays fast; the committed figure and bench records carry the full
+		// 8-shard, 200-cell scale.
+		var r *experiments.CRANResult
+		r, err = experiments.RunCRAN(cfg, 4, 48, cran.PlacementHash)
+		if err == nil {
+			res = r
+			for _, row := range r.Scaling {
+				key := fmt.Sprintf("cran/shards%d", row.Shards)
+				g.add(key+"/speedup", bandCI(row.Speedup, 0.2, 0.2))
+				g.add(key+"/served", exactCI(float64(row.Served)))
+			}
+			for _, row := range r.Load {
+				g.add(fmt.Sprintf("cran/load%gx/shed_rate", row.Multiplier),
+					bandCI(row.ShedRate, 0.3, 0.05))
 			}
 		}
 	default:

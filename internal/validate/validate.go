@@ -55,7 +55,8 @@ type Options struct {
 	// Inject enables a deliberate regression for harness self-tests:
 	// "ra-degraded" replaces every RA candidate state with random spins,
 	// "reads-slashed" cuts MaxReads 10×, "fleet-serial" serves the
-	// scaled fleet with one device. Empty: no injection.
+	// scaled fleet with one device, "cran-single-shard" serves the scaled
+	// C-RAN tier with one shard. Empty: no injection.
 	Inject string
 }
 

@@ -19,8 +19,8 @@ func TestClaimRegistry(t *testing.T) {
 		}
 		seen[c.Name] = true
 	}
-	if len(seen) != 5 {
-		t.Fatalf("expected the 5 paper claims, got %d", len(seen))
+	if len(seen) != 6 {
+		t.Fatalf("expected the 6 registered claims, got %d", len(seen))
 	}
 }
 

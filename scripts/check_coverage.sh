@@ -15,6 +15,7 @@ repro/internal/chimera 92
 repro/internal/cli 55
 repro/internal/coding 93
 repro/internal/core 83
+repro/internal/cran 94
 repro/internal/experiments 84
 repro/internal/fleet 94
 repro/internal/instance 84
