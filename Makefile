@@ -7,9 +7,9 @@ GO ?= go
 # tighter cap than the local default so the leg stays inside its slot.
 VALIDATE_MAX_READS ?= 30000
 
-.PHONY: check vet build test race race-fleet race-cran fuzz-smoke fmt validate update-golden cover
+.PHONY: check vet build test race race-fleet race-cran fuzz-smoke slo fmt validate update-golden cover
 
-check: vet build test race race-fleet race-cran fuzz-smoke
+check: vet build test race race-fleet race-cran fuzz-smoke slo
 
 vet:
 	$(GO) vet ./...
@@ -37,6 +37,13 @@ race-cran:
 # regressions on the known-interesting inputs in CI time.
 fuzz-smoke:
 	$(GO) test -run 'Fuzz' ./internal/...
+
+# SLO monitoring gate: the uncached monitor/alerting/health suite (this
+# battery pins the no-perturbation and live==offline determinism
+# contracts) plus a slotool smoke run over the committed trace fixture.
+slo:
+	$(GO) test -count=1 ./internal/slo/
+	$(GO) run ./cmd/slotool -trace internal/slo/testdata/trace_small.jsonl -quiet > /dev/null
 
 fmt:
 	gofmt -l .

@@ -58,7 +58,7 @@ func main() {
 	log.RegisterVerbosity()
 	tel := cli.RegisterTelemetry()
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 2|3|4|6|7|8|headline|ablation-*|ber|hardness|qaoa|capacity|availability|fleet|cran|all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 2|3|4|6|7|8|headline|ablation-*|ber|hardness|qaoa|capacity|availability|fleet|cran|cran-slo|all")
 		scale     = flag.String("scale", "quick", "effort: quick|full")
 		out       = flag.String("out", "", "directory for per-figure output files (default stdout)")
 		seed      = flag.Uint64("seed", 0, "override experiment seed (0 = default)")
@@ -109,7 +109,7 @@ func main() {
 
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {
-		figs = []string{"2", "3", "4", "6", "7", "8", "headline", "ablation-modules", "ablation-device", "ablation-gsorder", "ber", "hardness", "qaoa", "capacity", "availability", "fleet", "cran"}
+		figs = []string{"2", "3", "4", "6", "7", "8", "headline", "ablation-modules", "ablation-device", "ablation-gsorder", "ber", "hardness", "qaoa", "capacity", "availability", "fleet", "cran", "cran-slo"}
 	}
 	for _, f := range figs {
 		if err := runFigure(strings.TrimSpace(f), cfg, *out, *benchJSON, log); err != nil {
@@ -216,6 +216,13 @@ func runFigure(fig string, cfg experiments.Config, outDir, benchDir string, log 
 			return err
 		}
 		res, err = experiments.RunCRAN(cfg, cranShards, cranCells, pol)
+	case "cran-slo":
+		var pol cran.Placement
+		pol, err = cran.ParsePlacement(cranPlacement)
+		if err != nil {
+			return err
+		}
+		res, err = experiments.RunCRANSLO(cfg, 0, 0, pol)
 	default:
 		return fmt.Errorf("unknown figure %q (2|3|4|6|7|8|headline|ablation-modules|ablation-device|ablation-gsorder)", fig)
 	}

@@ -8,6 +8,12 @@
 //	hybridmimo -users 12 -mod qpsk -solver sd -snr 20
 //	hybridmimo -users 8 -mod 16qam -solver gs+ra -sweep   # s_p sweep
 //
+// Fleet-served runs (-fleet-devices > 0) can additionally emit the SLO
+// monitoring dashboard with the shared telemetry flag -slo-report (see
+// internal/slo and cmd/slotool for the offline path over -trace-out):
+//
+//	hybridmimo -users 8 -solver gs+ra -fleet-devices 4 -slo-report slo.txt
+//
 // Solvers: ml, zf, mmse, sd, kbest, fcsd, gs, sa, tabu, pt (classical);
 // fa, fr, gs+ra, zf+ra, random+ra, fa+descent, co, decomp, persist
 // (annealer-based).

@@ -1,6 +1,8 @@
 package annealer
 
 import (
+	"math"
+
 	"repro/internal/telemetry"
 )
 
@@ -147,6 +149,28 @@ func (p Params) emitBatchTelemetry(res *Result, faults []readFault) {
 				t += readout
 			}
 		}
+		// Batch summary at the batch's (relative-clock) end: read yield,
+		// fault tallies, and the surviving-sample energy statistics the SLO
+		// monitor's device health scoring keys off.
+		stats := telemetry.Attrs{
+			"issued":   len(faults),
+			"survived": len(res.Samples),
+			"timeouts": res.Faults.ReadTimeouts,
+			"storms":   res.Faults.ChainBreakStorms,
+			"drifts":   res.Faults.CalibrationDrifts,
+		}
+		if len(res.Samples) > 0 {
+			sum, best := 0.0, math.Inf(1)
+			for _, s := range res.Samples {
+				sum += s.Energy
+				if s.Energy < best {
+					best = s.Energy
+				}
+			}
+			stats["mean_energy"] = sum / float64(len(res.Samples))
+			stats["best_energy"] = best
+		}
+		p.Trace.Event("qpu/batch-stats", t, stats)
 	}
 	if p.Metrics != nil {
 		p.Metrics.Counter("annealer_batches_total").Inc()

@@ -1,8 +1,8 @@
 // Package cli holds the plumbing every command shares: a leveled stderr
 // logger (replacing the four copy-pasted fatalf helpers) and the
-// telemetry flag set (-trace-out, -metrics-out, -manifest-out, -pprof)
-// with its lifecycle — register flags, start after flag.Parse, flush
-// outputs at exit.
+// telemetry flag set (-trace-out, -metrics-out, -manifest-out, -pprof,
+// -slo-report) with its lifecycle — register flags, start after
+// flag.Parse, flush outputs at exit.
 package cli
 
 import (
@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 )
 
@@ -99,6 +100,13 @@ type Telemetry struct {
 	metricsOut  string
 	manifestOut string
 	pprofAddr   string
+	sloOut      string
+	sloDeadline float64
+
+	// Monitor is the live SLO tap, non-nil only when -slo-report was
+	// given. It buffers the tracer's record stream without perturbing it;
+	// Flush analyzes the buffer and writes the dashboard.
+	Monitor *slo.Monitor
 
 	// Tracer and Registry are non-nil only when their output was
 	// requested; pass them to annealer.Params / pipeline.Pipeline /
@@ -116,6 +124,8 @@ func RegisterTelemetry() *Telemetry {
 	flag.StringVar(&t.metricsOut, "metrics-out", "", "write a metrics snapshot to this file (.json = JSON, else Prometheus text)")
 	flag.StringVar(&t.manifestOut, "manifest-out", "", "write the run manifest (flags, git rev, wall time) to this JSON file")
 	flag.StringVar(&t.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	flag.StringVar(&t.sloOut, "slo-report", "", "write the SLO monitoring dashboard (SLIs, burn-rate alerts, device health, critical paths) to this file")
+	flag.Float64Var(&t.sloDeadline, "slo-deadline-us", 50_000, "p99 frame-latency target for the -slo-report SLOs (simulated μs)")
 	return t
 }
 
@@ -123,9 +133,13 @@ func RegisterTelemetry() *Telemetry {
 // flag.Parse.
 func (t *Telemetry) Start(tool string, log *Logger) error {
 	t.Manifest = telemetry.NewManifest(tool)
-	if t.traceOut != "" {
+	if t.traceOut != "" || t.sloOut != "" {
 		t.Tracer = telemetry.NewTracer()
 		t.Tracer.SetManifest(t.Manifest)
+	}
+	if t.sloOut != "" {
+		t.Monitor = slo.NewMonitor(slo.Config{Specs: slo.DefaultSpecs(t.sloDeadline)})
+		t.Tracer.AddSink(t.Monitor)
 	}
 	if t.metricsOut != "" {
 		t.Registry = telemetry.NewRegistry()
@@ -173,6 +187,25 @@ func (t *Telemetry) Flush(log *Logger) error {
 			return err
 		}
 		log.Infof("wrote metrics snapshot to %s", t.metricsOut)
+	}
+	if t.sloOut != "" {
+		snap, err := t.Monitor.Finish()
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(t.sloOut)
+		if err != nil {
+			return err
+		}
+		if err := snap.WriteDashboard(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		log.Infof("wrote SLO report (%d records, %d alert transitions) to %s",
+			t.Monitor.Len(), len(snap.Alerts), t.sloOut)
 	}
 	if t.manifestOut != "" {
 		f, err := os.Create(t.manifestOut)

@@ -124,6 +124,49 @@ func TestTelemetryJSONMetricsByExtension(t *testing.T) {
 	}
 }
 
+// TestTelemetrySLOReport: -slo-report alone must allocate a tracer (the
+// monitor needs the record stream even when no trace file is written),
+// tap it with a Monitor, and render the dashboard at Flush.
+func TestTelemetrySLOReport(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "slo.txt")
+	tel := &Telemetry{sloOut: out, sloDeadline: 100}
+	log := &Logger{Tool: "test", Out: &bytes.Buffer{}}
+	if err := tel.Start("test", log); err != nil {
+		t.Fatal(err)
+	}
+	if tel.Tracer == nil || tel.Monitor == nil {
+		t.Fatal("Start did not allocate tracer + monitor for -slo-report")
+	}
+	// A minimal served frame so the dashboard has service levels.
+	tel.Tracer.Span("fleet/frame", 0, 50, telemetry.Attrs{
+		"stream": 0, "seq": 0, "device": 0, "batch": 0, "attempts": 1,
+		"queue_us": 5.0, "reads": 4,
+	})
+	tel.Tracer.Event("fleet/answer", 50, telemetry.Attrs{
+		"stream": 0, "seq": 0, "device": 0, "source": "quantum",
+	})
+	if tel.Monitor.Len() != 2 {
+		t.Fatalf("monitor buffered %d records, want 2", tel.Monitor.Len())
+	}
+	if err := tel.Flush(log); err != nil {
+		t.Fatal(err)
+	}
+	report, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SLO dashboard", "service levels", "tier"} {
+		if !strings.Contains(string(report), want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+	// No -trace-out: the trace file must not appear.
+	if _, err := os.Stat(filepath.Join(dir, "trace.jsonl")); !os.IsNotExist(err) {
+		t.Fatal("trace file written without -trace-out")
+	}
+}
+
 func TestTelemetryDisabledIsFreeOfSideEffects(t *testing.T) {
 	tel := &Telemetry{}
 	log := &Logger{Tool: "test", Out: &bytes.Buffer{}}

@@ -114,6 +114,17 @@ type Config struct {
 	// estimate by reads·EstReadMicros/len(devices). It is a routing
 	// estimate only — actual timing is fixed by the shard's own plan.
 	EstReadMicros float64
+	// ShardHealth optionally biases load-aware placement with per-shard
+	// health scores in [0, 1] (e.g. from a previous run's SLO monitor,
+	// internal/slo): a shard's estimated load is divided by its health,
+	// so degraded shards attract proportionally fewer cells, and a score
+	// of 0 excludes the shard from new placements entirely (it still
+	// serves cells already placed on it). Must be nil or have one entry
+	// per shard. Nil — the default — keeps placement identical to a
+	// health-blind router; a regression test pins that. Scores are static
+	// routing inputs, never fed back from the run being served, so the
+	// route phase stays a pure function of (cfg, reqs).
+	ShardHealth []float64
 	// Seed roots every RNG stream; shard i serves under an independent
 	// seed split from (Seed, i).
 	Seed uint64
@@ -199,6 +210,16 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.VirtualNodes < 1 {
 		return cfg, fmt.Errorf("cran: virtual nodes %d < 1", cfg.VirtualNodes)
+	}
+	if cfg.ShardHealth != nil {
+		if len(cfg.ShardHealth) != len(cfg.Shards) {
+			return cfg, fmt.Errorf("cran: %d shard health scores for %d shards", len(cfg.ShardHealth), len(cfg.Shards))
+		}
+		for i, h := range cfg.ShardHealth {
+			if math.IsNaN(h) || h < 0 || h > 1 {
+				return cfg, fmt.Errorf("cran: shard %d health %g outside [0, 1]", i, h)
+			}
+		}
 	}
 	if cfg.AdmitQueueMicros < 0 || math.IsNaN(cfg.AdmitQueueMicros) {
 		return cfg, fmt.Errorf("cran: bad admit queue bound %g", cfg.AdmitQueueMicros)
@@ -469,13 +490,27 @@ func (rt *router) failOver(cs *cellState, cell int, t float64) *cellState {
 
 // leastLoadedLive returns the live shard with the least estimated load
 // (ties to the lowest index), skipping `not`; −1 when none is live.
+// With ShardHealth set, load is health-weighted: estLoad/health, so a
+// half-healthy shard looks twice as loaded, and a zero-health shard is
+// infinitely loaded (placed on only when every live shard is at zero
+// health). Without ShardHealth the comparison is the plain estimate.
 func (rt *router) leastLoadedLive(t float64, not int) int {
+	load := func(s int) float64 {
+		if rt.cfg.ShardHealth == nil {
+			return rt.estLoad[s]
+		}
+		h := rt.cfg.ShardHealth[s]
+		if h <= 0 {
+			return math.Inf(1)
+		}
+		return rt.estLoad[s] / h
+	}
 	best := -1
 	for s := range rt.cfg.Shards {
 		if s == not || rt.deadAt[s] <= t {
 			continue
 		}
-		if best < 0 || rt.estLoad[s] < rt.estLoad[best] {
+		if best < 0 || load(s) < load(best) {
 			best = s
 		}
 	}

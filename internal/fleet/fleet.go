@@ -156,6 +156,17 @@ type Config struct {
 	// merged trace export deterministic and per-shard gauges collision
 	// free. Empty (the default) emits exactly the standalone telemetry.
 	ShardLabel string
+	// DeviceHealth, when non-nil, is a per-device health score in [0, 1]
+	// (1 = fully healthy; len must equal len(Devices)) that the
+	// least-loaded and EDF device picks consult: accumulated busy time is
+	// divided by the score, so degraded devices attract proportionally
+	// less work and a score of 0 is used only when no healthier device is
+	// free. The scores come from an SLO monitor (internal/slo) over a
+	// PREVIOUS run's telemetry — never from the current run — so the plan
+	// phase stays a pure function of (Config, requests). Nil (the
+	// default) leaves every scheduling decision exactly as without health
+	// routing; the determinism regression pins that.
+	DeviceHealth []float64
 	// Trace and Metrics receive dispatcher telemetry (nil-safe).
 	Trace   *telemetry.Tracer
 	Metrics *telemetry.Registry
@@ -312,6 +323,16 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.Workers < 1 {
 		return cfg, fmt.Errorf("fleet: workers %d < 1", cfg.Workers)
+	}
+	if cfg.DeviceHealth != nil {
+		if len(cfg.DeviceHealth) != len(cfg.Devices) {
+			return cfg, fmt.Errorf("fleet: %d health scores for %d devices", len(cfg.DeviceHealth), len(cfg.Devices))
+		}
+		for i, h := range cfg.DeviceHealth {
+			if math.IsNaN(h) || h < 0 || h > 1 {
+				return cfg, fmt.Errorf("fleet: device %d: health score %g out of [0, 1]", i, h)
+			}
+		}
 	}
 	for i, d := range cfg.Devices {
 		if d.SweepsPerMicrosecond < 0 {
@@ -775,12 +796,27 @@ func (pl *planner) pickDevice() int {
 		}
 		return -1
 	}
+	// Least-loaded (and EDF's device pick): compare accumulated busy
+	// time, divided by the device's health score when health routing is
+	// on — a half-health device looks twice as busy, a zero-health device
+	// looks infinitely busy and is chosen only when every free device is
+	// at zero (ties break to the lowest index either way).
+	load := func(d int) float64 {
+		if pl.cfg.DeviceHealth == nil {
+			return pl.busy[d]
+		}
+		h := pl.cfg.DeviceHealth[d]
+		if h <= 0 {
+			return math.Inf(1)
+		}
+		return pl.busy[d] / h
+	}
 	best := -1
 	for d := 0; d < n; d++ {
 		if !free(d) {
 			continue
 		}
-		if best < 0 || pl.busy[d] < pl.busy[best] {
+		if best < 0 || load(d) < load(best) {
 			best = d
 		}
 	}
@@ -890,8 +926,17 @@ func (pl *planner) launch(dev, seed int) {
 	pl.busyUntil[dev] = b.finish
 	pl.busy[dev] += b.finish - b.start
 	pl.batches = append(pl.batches, b)
+	batchReads := 0
+	for _, fi := range b.frames {
+		batchReads += pl.frames[fi].reads
+	}
+	// The per-read anneal/readout decomposition rides on the span so an
+	// offline analyzer (cmd/slotool) can attribute each frame's time to
+	// program / batch-wait / anneal / readout without re-deriving the
+	// device model.
 	pl.cfg.Trace.Span("fleet/batch", b.start, b.finish, pl.tattrs(telemetry.Attrs{
 		"device": dev, "batch": id, "frames": len(b.frames), "faulted": b.faulted,
+		"prog_us": prog, "anneal_us": sc.Duration(), "readout_us": readout, "reads": batchReads,
 	}))
 	if pl.cfg.Metrics != nil {
 		pl.cfg.Metrics.Counter("fleet_batches_total", pl.mlabels()...).Inc()
@@ -919,6 +964,7 @@ func (pl *planner) complete(batchID int) {
 			pl.cfg.Trace.Span("fleet/frame", f.req.Arrival, o.Finish, pl.tattrs(telemetry.Attrs{
 				"stream": f.req.Stream, "seq": f.req.Seq, "device": o.Device,
 				"batch": batchID, "attempts": o.Attempts,
+				"queue_us": o.QueueMicros, "reads": f.reads,
 			}))
 			if o.DeadlineMissed {
 				pl.deadlineMiss(fi, o.Finish)
@@ -1013,6 +1059,7 @@ func (pl *planner) runBatch(bi int) error {
 		key := uint64(f.req.Stream)<<32 | uint64(f.req.Seq)
 		r := rng.New(pl.cfg.Seed).SplitString("fleet/frame").Split(key).Split(uint64(o.Attempts))
 		res, err := l.Run(f.req.Problem, f.req.InitialState, f.reads, r)
+		initE := f.req.Problem.Energy(f.req.InitialState)
 		if err != nil {
 			if _, ok := annealer.AsFault(err); !ok {
 				return err
@@ -1022,11 +1069,11 @@ func (pl *planner) runBatch(bi int) error {
 			o.Source = core.AnswerClassicalFallback
 			o.Best = qubo.Sample{
 				Spins:  append([]int8(nil), f.req.InitialState...),
-				Energy: f.req.Problem.Energy(f.req.InitialState),
+				Energy: initE,
 			}
+			pl.annealStats(f, o, initE, nil)
 			continue
 		}
-		initE := f.req.Problem.Energy(f.req.InitialState)
 		if initE < res.Best.Energy {
 			o.Source = core.AnswerClassicalCandidate
 			o.Best = qubo.Sample{Spins: append([]int8(nil), f.req.InitialState...), Energy: initE}
@@ -1034,13 +1081,65 @@ func (pl *planner) runBatch(bi int) error {
 			o.Source = core.AnswerQuantum
 			o.Best = res.Best
 		}
+		pl.annealStats(f, o, initE, res)
 	}
 	return nil
+}
+
+// annealStats publishes one frame's anneal-quality event — the raw
+// material the SLO monitor's per-device health scoring (internal/slo)
+// consumes: sample-energy residuals against the frame's own classical
+// candidate (a device-independent reference) plus the soft-fault tallies.
+// Every value derives from the plan-fixed RNG keys, so emission from the
+// concurrent execute phase cannot perturb the deterministic record set.
+// res == nil marks a hard fault that lost every read.
+func (pl *planner) annealStats(f *frame, o *Outcome, candE float64, res *annealer.Result) {
+	if pl.cfg.Trace == nil {
+		return
+	}
+	attrs := telemetry.Attrs{
+		"device": o.Device, "batch": o.Batch,
+		"stream": f.req.Stream, "seq": f.req.Seq,
+		"reads": f.reads, "cand_energy": candE,
+	}
+	if res != nil {
+		var sum float64
+		for _, s := range res.Samples {
+			sum += s.Energy
+		}
+		attrs["survived"] = len(res.Samples)
+		attrs["mean_energy"] = sum / float64(len(res.Samples))
+		attrs["best_energy"] = res.Best.Energy
+		attrs["chain_break_rate"] = res.BrokenChainRate
+		attrs["timeouts"] = res.Faults.ReadTimeouts
+		attrs["storms"] = res.Faults.ChainBreakStorms
+		attrs["drifts"] = res.Faults.CalibrationDrifts
+	} else {
+		attrs["survived"] = 0
+	}
+	pl.cfg.Trace.Event("fleet/anneal-stats", o.Finish, pl.tattrs(attrs))
 }
 
 // finishTelemetry emits the post-execution aggregates in deterministic
 // (single-threaded, outcome-ordered) fashion.
 func (pl *planner) finishTelemetry() {
+	if pl.cfg.Trace != nil {
+		// One answer event per frame at its finish instant: the
+		// degradation-ladder position (quantum / classical-candidate /
+		// classical-fallback) is the availability SLI's raw event stream.
+		for i := range pl.outcomes {
+			o := &pl.outcomes[i]
+			attrs := telemetry.Attrs{
+				"stream": o.Stream, "seq": o.Seq, "device": o.Device,
+				"source": o.Source.String(),
+			}
+			if o.Shed {
+				attrs["shed"] = true
+				attrs["reason"] = o.ShedReason
+			}
+			pl.cfg.Trace.Event("fleet/answer", o.Finish, pl.tattrs(attrs))
+		}
+	}
 	if pl.cfg.Metrics == nil {
 		return
 	}

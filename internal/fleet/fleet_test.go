@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"math"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -370,11 +371,54 @@ func TestConfigValidation(t *testing.T) {
 		{Devices: logicalDevices(1), NumReads: -1},
 		{Devices: []Device{{SweepsPerMicrosecond: -1}}},
 		{Devices: []Device{{Faults: annealer.FaultModel{ReadTimeoutRate: 2}}}},
+		{Devices: logicalDevices(2), DeviceHealth: []float64{1}},
+		{Devices: logicalDevices(2), DeviceHealth: []float64{1, 1.5}},
+		{Devices: logicalDevices(2), DeviceHealth: []float64{1, nan()}},
 	}
 	for i, cfg := range bads {
 		if _, err := Serve(context.Background(), cfg, reqs); err == nil {
 			t.Errorf("bad config %d accepted", i)
 		}
+	}
+}
+
+// TestDeviceHealthRouting: nil health and uniform all-ones health must
+// schedule bit-identically (the knob is off by default), while a
+// degraded score must steer load away from that device whenever the
+// scheduler has a real choice.
+func TestDeviceHealthRouting(t *testing.T) {
+	// Two streams over three devices: every arrival tick leaves the
+	// least-loaded pick a non-forced choice.
+	reqs := uniformRequests(t, 2, 9, 100, 0)
+	run := func(health []float64) *Result {
+		res, err := Serve(context.Background(), Config{
+			Devices: logicalDevices(3), NumReads: 4, Seed: 11, DeviceHealth: health,
+		}, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	count := func(res *Result, dev int) int {
+		n := 0
+		for i := range res.Outcomes {
+			if res.Outcomes[i].Device == dev {
+				n++
+			}
+		}
+		return n
+	}
+	base := run(nil)
+	if !reflect.DeepEqual(base.Outcomes, run([]float64{1, 1, 1}).Outcomes) {
+		t.Fatal("uniform health changed scheduling")
+	}
+	if biased := run([]float64{1, 0.05, 1}); count(biased, 1) >= count(base, 1) {
+		t.Fatalf("device 1 load did not drop under health 0.05: base %d, biased %d",
+			count(base, 1), count(biased, 1))
+	}
+	if drained := run([]float64{1, 0, 1}); count(drained, 1) >= count(base, 1) {
+		t.Fatalf("zero-health device still attracts load: base %d, drained %d",
+			count(base, 1), count(drained, 1))
 	}
 }
 

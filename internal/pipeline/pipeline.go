@@ -328,6 +328,9 @@ func (p *Pipeline) emitTelemetry(frames []*Frame, rep *Report) {
 			if ft.FellBack && st == last {
 				attrs["fellback"] = true
 			}
+			if st == last {
+				attrs["latency_us"] = ft.Latency
+			}
 			p.Trace.Span("stage/"+rep.StageNames[st], ft.Start[st], ft.Finish[st], attrs)
 		}
 		if ft.Missed {

@@ -1,0 +1,45 @@
+package slo
+
+import (
+	"encoding/json"
+
+	"repro/internal/telemetry"
+)
+
+// Attribute accessors tolerant of both in-process records (Go ints,
+// floats, bools) and JSONL round-tripped records (every number a
+// float64): the live sink path and the offline slotool path must read
+// one record shape identically.
+
+func attrNum(a telemetry.Attrs, key string) (float64, bool) {
+	switch v := a[key].(type) {
+	case float64:
+		return v, true
+	case float32:
+		return float64(v), true
+	case int:
+		return float64(v), true
+	case int64:
+		return float64(v), true
+	case json.Number:
+		f, err := v.Float64()
+		return f, err == nil
+	default:
+		return 0, false
+	}
+}
+
+func attrInt(a telemetry.Attrs, key string) (int, bool) {
+	f, ok := attrNum(a, key)
+	return int(f), ok
+}
+
+func attrString(a telemetry.Attrs, key string) (string, bool) {
+	s, ok := a[key].(string)
+	return s, ok
+}
+
+func attrBool(a telemetry.Attrs, key string) bool {
+	b, ok := a[key].(bool)
+	return ok && b
+}

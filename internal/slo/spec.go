@@ -1,0 +1,242 @@
+package slo
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Kind selects which bad-event stream an SLO is defined over. Every kind
+// reduces to a ratio SLI — bad events over total events per tick — so one
+// burn-rate evaluator serves all three.
+type Kind int
+
+const (
+	// KindLatency: a frame is bad when its latency exceeds the spec's
+	// LatencyMicros threshold. Budget is the allowed bad fraction, so
+	// Budget 0.01 states "p99 latency ≤ LatencyMicros".
+	KindLatency Kind = iota
+	// KindAvailability: a frame is bad when it was answered by the
+	// classical-fallback rung of the degradation ladder (the quantum
+	// service did not contribute). Budget 0.001 states 99.9% availability.
+	KindAvailability
+	// KindShed: a frame is bad when it was shed (fleet admission, retry
+	// exhaustion, or router backpressure). Budget 0.01 states "shed ≤ 1%".
+	KindShed
+)
+
+// String names the kind for reports and alert records.
+func (k Kind) String() string {
+	switch k {
+	case KindLatency:
+		return "latency"
+	case KindAvailability:
+		return "availability"
+	case KindShed:
+		return "shed"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// ScopePerShard expands a spec into one independent evaluation per shard
+// observed in the trace.
+const ScopePerShard = "per-shard"
+
+// Spec is one declarative SLO evaluated with multi-window burn-rate
+// alerting (the fast window catches sharp regressions quickly, the slow
+// window keeps brief blips from paging).
+type Spec struct {
+	// Name identifies the SLO in alerts and dashboards (required).
+	Name string
+	// Kind selects the bad-event stream.
+	Kind Kind
+	// Scope: "" evaluates tier-wide; ScopePerShard evaluates each shard
+	// independently; "shard=<label>" evaluates one shard only.
+	Scope string
+	// LatencyMicros is KindLatency's per-frame threshold (required for
+	// that kind, ignored otherwise).
+	LatencyMicros float64
+	// Budget is the error budget: the allowed long-run bad fraction
+	// (default 0.01 for latency/shed, 0.001 for availability).
+	Budget float64
+	// FastTicks and SlowTicks are the two burn windows in ticks
+	// (defaults 2 and 12). SlowTicks must be ≥ FastTicks.
+	FastTicks, SlowTicks int
+	// FastBurn and SlowBurn are the burn-rate thresholds: the alert
+	// fires when BOTH windows burn at or above their threshold
+	// (defaults 14.4 and 6 — the SRE-workbook page tier).
+	FastBurn, SlowBurn float64
+	// MinEvents gates alerting on the slow window holding at least this
+	// many events (default 20), so near-empty windows cannot page.
+	MinEvents int
+}
+
+func (sp Spec) withDefaults() (Spec, error) {
+	if sp.Name == "" {
+		return sp, fmt.Errorf("slo: spec has no name")
+	}
+	if sp.Kind == KindLatency && !(sp.LatencyMicros > 0) {
+		return sp, fmt.Errorf("slo: spec %s: latency kind needs LatencyMicros > 0", sp.Name)
+	}
+	if sp.Budget == 0 {
+		if sp.Kind == KindAvailability {
+			sp.Budget = 0.001
+		} else {
+			sp.Budget = 0.01
+		}
+	}
+	if sp.Budget <= 0 || sp.Budget >= 1 || math.IsNaN(sp.Budget) {
+		return sp, fmt.Errorf("slo: spec %s: budget %g outside (0, 1)", sp.Name, sp.Budget)
+	}
+	if sp.FastTicks == 0 {
+		sp.FastTicks = 2
+	}
+	if sp.SlowTicks == 0 {
+		sp.SlowTicks = 12
+	}
+	if sp.FastTicks < 1 || sp.SlowTicks < sp.FastTicks {
+		return sp, fmt.Errorf("slo: spec %s: bad windows fast=%d slow=%d", sp.Name, sp.FastTicks, sp.SlowTicks)
+	}
+	if sp.FastBurn == 0 {
+		sp.FastBurn = 14.4
+	}
+	if sp.SlowBurn == 0 {
+		sp.SlowBurn = 6
+	}
+	if sp.FastBurn <= 0 || sp.SlowBurn <= 0 {
+		return sp, fmt.Errorf("slo: spec %s: burn thresholds must be > 0", sp.Name)
+	}
+	if sp.MinEvents == 0 {
+		sp.MinEvents = 20
+	}
+	return sp, nil
+}
+
+// DefaultSpecs returns the serving tier's standard SLO set for a given
+// frame deadline: p99 latency within deadline, 99.9% availability
+// (answers above the classical-fallback rung), and shed rate ≤ 1% —
+// each evaluated tier-wide and per shard.
+func DefaultSpecs(deadlineMicros float64) []Spec {
+	specs := []Spec{
+		{Name: "frame-p99-latency", Kind: KindLatency, LatencyMicros: deadlineMicros, Budget: 0.01},
+		{Name: "availability", Kind: KindAvailability, Budget: 0.001},
+		{Name: "shed-rate", Kind: KindShed, Budget: 0.01},
+	}
+	perShard := make([]Spec, 0, len(specs))
+	for _, sp := range specs {
+		sp.Scope = ScopePerShard
+		perShard = append(perShard, sp)
+	}
+	return append(specs, perShard...)
+}
+
+// Alert states.
+const (
+	StateIdle    = "idle"
+	StatePending = "pending" // fast window burning, slow window not yet
+	StateFiring  = "firing"  // both windows at or above threshold
+)
+
+// AlertTransition is one typed state change of one (SLO, scope) pair,
+// stamped on the simulated clock at the tick boundary that produced it.
+type AlertTransition struct {
+	AtMicros float64 `json:"at_us"`
+	SLO      string  `json:"slo"`
+	Scope    string  `json:"scope,omitempty"`
+	From     string  `json:"from"`
+	To       string  `json:"to"`
+	// FastBurn / SlowBurn are the measured burn rates at the transition.
+	FastBurn float64 `json:"fast_burn"`
+	SlowBurn float64 `json:"slow_burn"`
+	// BadSlow / TotalSlow give the slow window's raw evidence.
+	BadSlow   int `json:"bad_slow"`
+	TotalSlow int `json:"total_slow"`
+}
+
+// WriteAlertsJSONL writes transitions one JSON object per line.
+func WriteAlertsJSONL(w io.Writer, ts []AlertTransition) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, t := range ts {
+		if err := enc.Encode(t); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// evalSpec runs one spec's burn-rate state machine over a ratio series,
+// walking every tick from the first to the last occupied index (empty
+// ticks participate — a quiet tick drains the fast window). Transitions
+// are stamped at each tick's end boundary.
+func evalSpec(sp Spec, scope string, rs *RatioSeries, tick float64) []AlertTransition {
+	buckets := rs.Buckets()
+	if len(buckets) == 0 {
+		return nil
+	}
+	byIdx := make(map[int64]RatioBucket, len(buckets))
+	for _, b := range buckets {
+		byIdx[b.Index] = b
+	}
+	lo, hi := buckets[0].Index, buckets[len(buckets)-1].Index
+
+	sum := func(end, k int64) (bad, total int) {
+		for j := end - k + 1; j <= end; j++ {
+			if b, ok := byIdx[j]; ok {
+				bad += b.Bad
+				total += b.Total
+			}
+		}
+		return bad, total
+	}
+	burn := func(bad, total int) float64 {
+		if total == 0 {
+			return 0
+		}
+		return float64(bad) / float64(total) / sp.Budget
+	}
+
+	state := StateIdle
+	var out []AlertTransition
+	for i := lo; i <= hi; i++ {
+		fb, ft := sum(i, int64(sp.FastTicks))
+		sb, st := sum(i, int64(sp.SlowTicks))
+		fBurn, sBurn := burn(fb, ft), burn(sb, st)
+		next := StateIdle
+		switch {
+		case st >= sp.MinEvents && fBurn >= sp.FastBurn && sBurn >= sp.SlowBurn:
+			next = StateFiring
+		case ft > 0 && fBurn >= sp.FastBurn:
+			next = StatePending
+		}
+		if next != state {
+			out = append(out, AlertTransition{
+				AtMicros: float64(i+1) * tick,
+				SLO:      sp.Name, Scope: scope,
+				From: state, To: next,
+				FastBurn: fBurn, SlowBurn: sBurn,
+				BadSlow: sb, TotalSlow: st,
+			})
+			state = next
+		}
+	}
+	return out
+}
+
+// sortTransitions orders alert output deterministically by
+// (time, slo, scope).
+func sortTransitions(ts []AlertTransition) {
+	sort.Slice(ts, func(a, b int) bool {
+		if ts[a].AtMicros != ts[b].AtMicros {
+			return ts[a].AtMicros < ts[b].AtMicros
+		}
+		if ts[a].SLO != ts[b].SLO {
+			return ts[a].SLO < ts[b].SLO
+		}
+		return ts[a].Scope < ts[b].Scope
+	})
+}

@@ -1,0 +1,157 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+)
+
+// feedPhase pushes `n` events with `bad` of them bad into tick `idx`.
+func feedPhase(rs *RatioSeries, idx int64, n, bad int) {
+	at := (float64(idx) + 0.5) * testTick
+	for i := 0; i < n; i++ {
+		rs.Observe(at, i < bad)
+	}
+}
+
+func testSpec(t *testing.T) Spec {
+	t.Helper()
+	sp, err := Spec{
+		Name: "latency", Kind: KindLatency, LatencyMicros: 1000, Budget: 0.01,
+		FastTicks: 1, SlowTicks: 4, FastBurn: 10, SlowBurn: 5, MinEvents: 10,
+	}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// TestBurnRateLifecycle drives one spec through healthy traffic, a
+// sustained breach, and recovery, checking the typed transition sequence
+// idle → firing → idle (with the slow window draining behind the fast
+// one).
+func TestBurnRateLifecycle(t *testing.T) {
+	sp := testSpec(t)
+	rs := NewRatioSeries(testTick)
+	// Ticks 0-3: healthy (1% bad, exactly budget: burn 1 < thresholds).
+	for i := int64(0); i < 4; i++ {
+		feedPhase(rs, i, 100, 1)
+	}
+	// Ticks 4-6: breach — 30% bad (burn 30 ≥ fast 10, slow catches up).
+	for i := int64(4); i < 7; i++ {
+		feedPhase(rs, i, 100, 30)
+	}
+	// Ticks 7-12: recovery.
+	for i := int64(7); i < 13; i++ {
+		feedPhase(rs, i, 100, 0)
+	}
+	ts := evalSpec(sp, "", rs, testTick)
+	if len(ts) < 2 {
+		t.Fatalf("expected at least fire+resolve, got %+v", ts)
+	}
+	if ts[0].To != StateFiring {
+		t.Fatalf("first transition %+v, want firing", ts[0])
+	}
+	// Fast window = 1 tick at 30% bad: burn 30 ≥ 10. Slow window at tick 4:
+	// (1·3 + 30)/400 = 8.25% → burn 8.25 ≥ 5 → fires already at tick 4's
+	// boundary.
+	if ts[0].AtMicros != 5*testTick {
+		t.Fatalf("fired at %g, want %g", ts[0].AtMicros, 5*testTick)
+	}
+	last := ts[len(ts)-1]
+	if last.To != StateIdle {
+		t.Fatalf("alert never resolved: %+v", ts)
+	}
+	for _, tr := range ts {
+		if tr.SLO != "latency" {
+			t.Fatalf("wrong slo name %q", tr.SLO)
+		}
+	}
+}
+
+// TestBurnRateMinEventsGate: a breach over too few events must not page.
+func TestBurnRateMinEventsGate(t *testing.T) {
+	sp := testSpec(t)
+	rs := NewRatioSeries(testTick)
+	feedPhase(rs, 0, 5, 5) // 100% bad, but 5 < MinEvents=10 in slow window
+	for _, tr := range evalSpec(sp, "", rs, testTick) {
+		if tr.To == StateFiring {
+			t.Fatalf("fired on %d events: %+v", 5, tr)
+		}
+	}
+}
+
+// TestBurnRatePendingState: fast window breaching while the slow window
+// stays inside budget yields pending, not firing.
+func TestBurnRatePendingState(t *testing.T) {
+	sp := testSpec(t)
+	rs := NewRatioSeries(testTick)
+	// Long healthy history fills the slow window.
+	for i := int64(0); i < 3; i++ {
+		feedPhase(rs, i, 200, 0)
+	}
+	// One sharp single-tick blip: fast burn high, slow burn diluted.
+	feedPhase(rs, 3, 20, 4) // fast: 20% → burn 20; slow: 4/620 ≈ 0.65% → burn < 5
+	ts := evalSpec(sp, "", rs, testTick)
+	found := false
+	for _, tr := range ts {
+		if tr.To == StateFiring {
+			t.Fatalf("blip paged: %+v", tr)
+		}
+		if tr.To == StatePending {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no pending transition: %+v", ts)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []Spec{
+		{},                                       // no name
+		{Name: "x", Kind: KindLatency},           // latency without threshold
+		{Name: "x", Kind: KindShed, Budget: 1.5}, // bad budget
+		{Name: "x", Kind: KindShed, FastTicks: 5, SlowTicks: 2}, // slow < fast
+		{Name: "x", Kind: KindShed, FastBurn: -1},               // bad burn
+	}
+	for i, sp := range cases {
+		if _, err := sp.withDefaults(); err == nil {
+			t.Fatalf("case %d (%+v) validated", i, sp)
+		}
+	}
+}
+
+func TestDefaultSpecs(t *testing.T) {
+	specs := DefaultSpecs(50_000)
+	if len(specs) != 6 {
+		t.Fatalf("want 6 default specs, got %d", len(specs))
+	}
+	perShard := 0
+	for _, sp := range specs {
+		if _, err := sp.withDefaults(); err != nil {
+			t.Fatalf("default spec %q invalid: %v", sp.Name, err)
+		}
+		if sp.Scope == ScopePerShard {
+			perShard++
+		}
+	}
+	if perShard != 3 {
+		t.Fatalf("want 3 per-shard specs, got %d", perShard)
+	}
+}
+
+func TestWriteAlertsJSONL(t *testing.T) {
+	var sb strings.Builder
+	err := WriteAlertsJSONL(&sb, []AlertTransition{
+		{AtMicros: 5000, SLO: "latency", From: StateIdle, To: StateFiring, FastBurn: 30, SlowBurn: 8, BadSlow: 33, TotalSlow: 400},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{`"at_us":5000`, `"slo":"latency"`, `"to":"firing"`} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("JSONL missing %s:\n%s", want, got)
+		}
+	}
+}

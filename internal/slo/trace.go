@@ -1,0 +1,140 @@
+package slo
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/telemetry"
+)
+
+// ParseError is a typed per-line trace parse failure.
+type ParseError struct {
+	// Line is the 1-based JSONL line number.
+	Line int
+	// Err is the underlying JSON error.
+	Err error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("slo: trace line %d: %v", e.Line, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// ParseStats summarizes one ParseTrace call — what the lenient mode
+// tolerated is reported, never silently dropped.
+type ParseStats struct {
+	// Lines is the number of non-blank input lines.
+	Lines int
+	// Records is the number of parsed records (manifest line included).
+	Records int
+	// Skipped counts malformed lines dropped in lenient mode.
+	Skipped int
+	// Duplicates counts lines byte-identical to an earlier line. They are
+	// kept (the analyzer sees them), but a nonzero count flags a
+	// corrupted or doubly-concatenated trace.
+	Duplicates int
+	// OutOfOrder counts adjacent input pairs that violated the exporter's
+	// deterministic (T0, Name, attrs) order; ParseTrace restores the
+	// order, so a nonzero count is informational.
+	OutOfOrder int
+}
+
+// maxTraceLine bounds one JSONL line (16 MiB — far above any real record,
+// small enough that a corrupt unterminated line fails fast).
+const maxTraceLine = 16 << 20
+
+// ParseTrace reads a JSONL trace. In strict mode the first malformed
+// line aborts with a *ParseError; in lenient mode malformed lines are
+// counted and skipped (a truncated tail parses to the records before the
+// cut). Records are returned re-sorted into the exporter's deterministic
+// order, with the manifest record (if any) first, so downstream analysis
+// is insensitive to line shuffling.
+func ParseTrace(r io.Reader, strict bool) ([]telemetry.Record, ParseStats, error) {
+	var (
+		stats    ParseStats
+		manifest []telemetry.Record
+		records  []telemetry.Record
+		seen     = make(map[string]struct{})
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxTraceLine)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		stats.Lines++
+		if _, dup := seen[string(line)]; dup {
+			stats.Duplicates++
+		} else {
+			seen[string(line)] = struct{}{}
+		}
+		var rec telemetry.Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if strict {
+				return nil, stats, &ParseError{Line: lineNo, Err: err}
+			}
+			stats.Skipped++
+			continue
+		}
+		stats.Records++
+		if rec.Type == "manifest" {
+			manifest = append(manifest, rec)
+			continue
+		}
+		records = append(records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		if strict {
+			return nil, stats, &ParseError{Line: lineNo + 1, Err: err}
+		}
+		// Lenient: an over-long or truncated tail loses everything after
+		// the failure point but keeps what parsed.
+		stats.Skipped++
+	}
+	stats.OutOfOrder = countInversions(records)
+	sortRecords(records)
+	return append(manifest, records...), stats, nil
+}
+
+// recordKey is the exporter's deterministic sort key.
+func recordKey(r telemetry.Record) (float64, string, string) {
+	attrs, _ := json.Marshal(r.Attrs)
+	return r.T0, r.Name, string(attrs)
+}
+
+// sortRecords orders records exactly as telemetry.Tracer.Records does:
+// by (T0, Name, marshaled attrs).
+func sortRecords(recs []telemetry.Record) {
+	sort.SliceStable(recs, func(i, j int) bool {
+		ti, ni, ai := recordKey(recs[i])
+		tj, nj, aj := recordKey(recs[j])
+		if ti != tj {
+			return ti < tj
+		}
+		if ni != nj {
+			return ni < nj
+		}
+		return ai < aj
+	})
+}
+
+// countInversions counts adjacent pairs out of exporter order.
+func countInversions(recs []telemetry.Record) int {
+	n := 0
+	for i := 1; i < len(recs); i++ {
+		ti, ni, ai := recordKey(recs[i-1])
+		tj, nj, aj := recordKey(recs[i])
+		if ti > tj || (ti == tj && (ni > nj || (ni == nj && ai > aj))) {
+			n++
+		}
+	}
+	return n
+}

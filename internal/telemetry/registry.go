@@ -145,25 +145,49 @@ type series struct {
 type Registry struct {
 	mu     sync.Mutex
 	series map[string]*series
+	kinds  map[string]string // family → kind, across ALL label sets
+	help   map[string]string // family → # HELP text
 }
 
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry { return &Registry{series: make(map[string]*series)} }
+func NewRegistry() *Registry {
+	return &Registry{
+		series: make(map[string]*series),
+		kinds:  make(map[string]string),
+		help:   make(map[string]string),
+	}
+}
+
+// SetHelp attaches a # HELP line to a metric family. The text is rendered
+// once per family by WritePrometheus (backslashes and newlines escaped per
+// the exposition format). Setting help for a family that never registers a
+// series is harmless — nothing is emitted.
+func (r *Registry) SetHelp(family, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[family] = text
+	r.mu.Unlock()
+}
 
 // Enabled reports whether the registry collects (false for nil).
 func (r *Registry) Enabled() bool { return r != nil }
 
 // lookup returns the series for (name, labels), creating it with mk on
-// first use. Panics if the same key was registered with another kind —
-// that is a programming error, not a runtime condition.
+// first use. Panics if the FAMILY was registered with another kind — even
+// under a different label set, since the exposition format emits one
+// # TYPE per family and mixed kinds would corrupt it. That is a
+// programming error, not a runtime condition.
 func (r *Registry) lookup(name, kind string, labels []Label, mk func() *series) *series {
 	key := name + renderLabels(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if k, ok := r.kinds[name]; ok && k != kind {
+		panic(fmt.Sprintf("telemetry: metric family %s registered as %s, requested as %s", name, k, kind))
+	}
+	r.kinds[name] = kind
 	if s, ok := r.series[key]; ok {
-		if s.kind != kind {
-			panic(fmt.Sprintf("telemetry: metric %s registered as %s, requested as %s", key, s.kind, kind))
-		}
 		return s
 	}
 	s := mk()
@@ -224,19 +248,33 @@ func (r *Registry) sortedSeries() []*series {
 	return out
 }
 
+// escapeHelp escapes a # HELP text per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
 // WritePrometheus renders the registry in the Prometheus text exposition
-// format: # TYPE headers per family, one sample line per series, and
-// cumulative _bucket/_sum/_count lines per histogram.
+// format: # HELP (when set) and # TYPE headers exactly once per metric
+// family — labelled series of one family stay grouped under a single
+// header pair no matter how many label sets interleave — one sample line
+// per series, and cumulative _bucket/_sum/_count lines per histogram.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
 	bw := bufio.NewWriter(w)
-	lastFamily := ""
+	emitted := make(map[string]bool)
 	for _, s := range r.sortedSeries() {
-		if s.family != lastFamily {
+		if !emitted[s.family] {
+			emitted[s.family] = true
+			r.mu.Lock()
+			help := r.help[s.family]
+			r.mu.Unlock()
+			if help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", s.family, escapeHelp(help))
+			}
 			fmt.Fprintf(bw, "# TYPE %s %s\n", s.family, s.kind)
-			lastFamily = s.family
 		}
 		switch s.kind {
 		case "counter":

@@ -48,6 +48,18 @@ type Record struct {
 // Duration returns the span's simulated length (0 for events).
 func (r Record) Duration() float64 { return r.T1 - r.T0 }
 
+// RecordSink receives every record a tracer collects, as it is emitted.
+// Sinks are the tap the SLO monitor (internal/slo) hangs off: they observe
+// the stream without touching it, so an attached sink can never perturb
+// results or the exported trace. Records arrive in HOST-SCHEDULING order
+// (parallel emitters interleave arbitrarily); a sink that needs the
+// deterministic order must bucket by simulated time or sort on Finish,
+// exactly as Records() does. Implementations must be safe for concurrent
+// calls and must not mutate the record's Attrs map.
+type RecordSink interface {
+	ObserveRecord(Record)
+}
+
 // Tracer collects spans and events concurrently and writes them as JSONL
 // in a deterministic order. All methods are safe on a nil receiver (a nil
 // tracer is a disabled tracer) and safe for concurrent use — the
@@ -57,6 +69,7 @@ type Tracer struct {
 	mu       sync.Mutex
 	manifest *Manifest
 	records  []Record
+	sinks    []RecordSink
 }
 
 // NewTracer returns an empty tracer.
@@ -75,14 +88,34 @@ func (t *Tracer) SetManifest(m *Manifest) {
 	t.mu.Unlock()
 }
 
+// AddSink attaches a record sink. Sinks added mid-run see only records
+// emitted after attachment; attach before the run for full coverage.
+func (t *Tracer) AddSink(s RecordSink) {
+	if t == nil || s == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sinks = append(t.sinks, s)
+	t.mu.Unlock()
+}
+
+// add appends a record and forwards it to every sink.
+func (t *Tracer) add(r Record) {
+	t.mu.Lock()
+	t.records = append(t.records, r)
+	sinks := t.sinks
+	t.mu.Unlock()
+	for _, s := range sinks {
+		s.ObserveRecord(r)
+	}
+}
+
 // Span records a [t0, t1] interval on the simulated clock.
 func (t *Tracer) Span(name string, t0, t1 float64, attrs Attrs) {
 	if t == nil {
 		return
 	}
-	t.mu.Lock()
-	t.records = append(t.records, Record{Type: "span", Name: name, T0: t0, T1: t1, Attrs: attrs})
-	t.mu.Unlock()
+	t.add(Record{Type: "span", Name: name, T0: t0, T1: t1, Attrs: attrs})
 }
 
 // Event records an instantaneous occurrence at simulated time at.
@@ -90,9 +123,7 @@ func (t *Tracer) Event(name string, at float64, attrs Attrs) {
 	if t == nil {
 		return
 	}
-	t.mu.Lock()
-	t.records = append(t.records, Record{Type: "event", Name: name, T0: at, Attrs: attrs})
-	t.mu.Unlock()
+	t.add(Record{Type: "event", Name: name, T0: at, Attrs: attrs})
 }
 
 // Len returns the number of collected records (0 for nil).

@@ -27,6 +27,7 @@ repro/internal/pipeline 91
 repro/internal/qaoa 92
 repro/internal/qubo 90
 repro/internal/rng 91
+repro/internal/slo 83
 repro/internal/telemetry 92
 repro/internal/validate 55
 '
