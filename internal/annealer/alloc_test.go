@@ -1,0 +1,88 @@
+package annealer
+
+import (
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/modulation"
+	"repro/internal/qubo"
+	"repro/internal/rng"
+)
+
+func allocTestIsing(t *testing.T) *qubo.Ising {
+	t.Helper()
+	in, err := instance.Synthesize(instance.Spec{Users: 8, Scheme: modulation.QAM16, Seed: 0xBE9C})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in.Reduction.Ising
+}
+
+// TestRunBatchAllocs pins the steady-state allocation count of a full
+// 32-read Run on the benchmark workload. The lockstep batch kernel
+// shares one pooled struct-of-arrays scratch across all 32 reads, so
+// the remaining allocations are the returned samples plus a handful of
+// compile-time slices — measured at 72. The bound leaves headroom for
+// runtime jitter but fails loudly if per-read allocation creeps back in
+// (the pre-batch code cost 556 allocs/op; see BenchmarkRun's committed
+// baseline).
+func TestRunBatchAllocs(t *testing.T) {
+	is := allocTestIsing(t)
+	fa, _ := Forward(1, 0.41, 1)
+	p := Params{Schedule: fa, NumReads: 32, SweepsPerMicrosecond: 30}
+	var seed uint64
+	if _, err := Run(is, p, rng.New(1)); err != nil { // warm scratch pools
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(10, func() {
+		seed++
+		if _, err := Run(is, p, rng.New(seed)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > 110 {
+		t.Errorf("32-read Run allocates %.0f objects, want ≤ 110 (steady state is ~72)", got)
+	}
+}
+
+// TestRunPreparedCacheHitAllocs pins what a cache-hit serve costs on the
+// embedded path: RunPrepared against an already-compiled Prepared skips
+// clique embedding, chain-strength scan, physical coefficient layout and
+// CSR normalization, leaving ~37 allocations versus ~4000 for an
+// uncached Lease.Run of the same batch. Both sides are pinned so the
+// cache's value and the hit path's cost are each guarded.
+func TestRunPreparedCacheHitAllocs(t *testing.T) {
+	is := allocTestIsing(t)
+	fa, _ := Forward(1, 0.41, 1)
+	p := Params{Schedule: fa, NumReads: 32, SweepsPerMicrosecond: 30}
+	l, err := NewQPU2000Q().Lease(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := l.PrepareProblem(is)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seed uint64
+	if _, err := l.RunPrepared(prep, nil, 32, rng.New(1)); err != nil { // warm pools
+		t.Fatal(err)
+	}
+	hit := testing.AllocsPerRun(10, func() {
+		seed++
+		if _, err := l.RunPrepared(prep, nil, 32, rng.New(seed)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if hit > 64 {
+		t.Errorf("cache-hit RunPrepared allocates %.0f objects, want ≤ 64 (steady state is ~37)", hit)
+	}
+	uncached := testing.AllocsPerRun(10, func() {
+		seed++
+		if _, err := l.Run(is, nil, 32, rng.New(seed)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if uncached < 10*hit {
+		t.Errorf("uncached Lease.Run allocates %.0f objects vs %.0f on a hit; the compile the cache elides has shrunk below 10× — re-baseline these pins", uncached, hit)
+	}
+}

@@ -176,25 +176,33 @@ type readScratch struct {
 // every read programs from, and the scratch pool that makes steady-state
 // reads allocation-free.
 type batch struct {
-	p    Params
-	base *qubo.CSR
-	read ReadFunc
-	pool sync.Pool
+	p     Params
+	base  *qubo.CSR
+	read  ReadFunc
+	bread BatchReadFunc // lockstep kernel; nil when the engine has none
+	pool  sync.Pool
 }
 
 func newBatch(p Params, base *qubo.CSR) (*batch, error) {
+	if be, ok := p.Engine.(BatchEngine); ok {
+		read, bread, err := be.PrepareBatch(p.Schedule, *p.Profile, p.SweepsPerMicrosecond)
+		if err != nil {
+			return nil, err
+		}
+		return newPreparedBatch(p, base, read, bread), nil
+	}
 	read, err := p.Engine.Prepare(p.Schedule, *p.Profile, p.SweepsPerMicrosecond)
 	if err != nil {
 		return nil, err
 	}
-	return newPreparedBatch(p, base, read), nil
+	return newPreparedBatch(p, base, read, nil), nil
 }
 
 // newPreparedBatch builds a batch around an ALREADY compiled ReadFunc —
 // the amortization a Lease provides: Engine.Prepare runs once per lease,
 // not once per problem.
-func newPreparedBatch(p Params, base *qubo.CSR, read ReadFunc) *batch {
-	b := &batch{p: p, base: base, read: read}
+func newPreparedBatch(p Params, base *qubo.CSR, read ReadFunc, bread BatchReadFunc) *batch {
+	b := &batch{p: p, base: base, read: read, bread: bread}
 	b.pool.New = func() any {
 		return &readScratch{field: make([]float64, base.N)}
 	}
@@ -253,6 +261,54 @@ func (b *batch) oneRead(read int, root *rng.Source, out []int8, f *readFault) (r
 	return true
 }
 
+// groupReads runs reads [lo, hi) of the batch as one lockstep group
+// through the engine's BatchReadFunc. Per-read stream derivation, fault
+// draws and programming happen in read order exactly as oneRead performs
+// them — only the dynamics are interleaved, and each read's private
+// stream makes that interleaving invisible — so results are bit-identical
+// to the sequential path. post runs once per surviving read, in read
+// order, and owns everything after the dynamics (quench, storm,
+// unembedding, sample capture); timed-out reads are marked in faults and
+// skipped.
+func (b *batch) groupReads(lo, hi int, root *rng.Source, spins []int8, n int,
+	faults []readFault, post func(read int, prog *qubo.CSR, out []int8, st *readScratch)) {
+	var sts [lockstepWidth]*readScratch
+	var group [lockstepWidth]BatchRead
+	var member [lockstepWidth]int
+	ng := 0
+	for read := lo; read < hi; read++ {
+		st := b.pool.Get().(*readScratch)
+		sts[read-lo] = st
+		root.SplitInto(&st.rr, uint64(read))
+		// Split never advances rr: dynamics stay fault-independent.
+		st.rr.SplitStringInto(&st.fr, "fault")
+		if b.p.Faults.readTimesOut(&st.fr) {
+			faults[read].timeout = true
+			continue
+		}
+		group[ng] = BatchRead{
+			Prog: b.program(st, &faults[read].drift),
+			Out:  spins[read*n : (read+1)*n],
+			Rng:  &st.rr,
+		}
+		member[ng] = read
+		ng++
+	}
+	if ng > 0 {
+		b.bread(b.p.InitialState, group[:ng])
+	}
+	for k := 0; k < ng; k++ {
+		read := member[k]
+		post(read, group[k].Prog, group[k].Out, sts[read-lo])
+	}
+	for j := lo; j < hi; j++ {
+		b.pool.Put(sts[j-lo])
+	}
+}
+
+// groupCount returns the number of lockstep groups covering n reads.
+func groupCount(n int) int { return (n + lockstepWidth - 1) / lockstepWidth }
+
 // Run draws reads from the simulated annealer for a logical (all-to-all
 // capable) problem. The problem is normalized to the device coefficient
 // range for the dynamics; reported energies are in the caller's original
@@ -273,17 +329,28 @@ func Run(is *qubo.Ising, p Params, r *rng.Source) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runLogical(is, p, nil, r)
+	return runLogical(is, p, nil, nil, r)
 }
 
 // runLogical is the shared logical-problem body behind Run and
 // Lease.Run: pre-flight checks, the programming-fault draw, the CSR
 // compile, and the read loop. A non-nil read skips Engine.Prepare (the
-// lease compiled it already); p must have passed withDefaults.
-func runLogical(is *qubo.Ising, p Params, read ReadFunc, r *rng.Source) (*Result, error) {
+// lease compiled it already, along with the optional lockstep bread);
+// p must have passed withDefaults.
+func runLogical(is *qubo.Ising, p Params, read ReadFunc, bread BatchReadFunc, r *rng.Source) (*Result, error) {
 	if is.N == 0 {
 		return nil, fmt.Errorf("annealer: empty problem")
 	}
+	pr := qubo.NewCSR(is)
+	pr.Normalize()
+	return runLogicalCompiled(is, pr, p, read, bread, r)
+}
+
+// runLogicalCompiled runs a batch whose CSR compile already happened —
+// either just now (runLogical) or once, cached, via Lease.RunPrepared.
+// pr must be the normalized CSR of is; it is only read, never written,
+// so one compiled problem may serve concurrent calls.
+func runLogicalCompiled(is *qubo.Ising, pr *qubo.CSR, p Params, read ReadFunc, bread BatchReadFunc, r *rng.Source) (*Result, error) {
 	if p.Schedule.StartsClassical() && len(p.InitialState) != is.N {
 		return nil, fmt.Errorf("annealer: reverse anneal needs an initial state of %d spins, got %d", is.N, len(p.InitialState))
 	}
@@ -293,11 +360,9 @@ func runLogical(is *qubo.Ising, p Params, read ReadFunc, r *rng.Source) (*Result
 		p.emitHardFault(FaultProgramming)
 		return nil, &FaultError{Kind: FaultProgramming}
 	}
-	pr := qubo.NewCSR(is)
-	pr.Normalize()
 	var b *batch
 	if read != nil {
-		b = newPreparedBatch(p, pr, read)
+		b = newPreparedBatch(p, pr, read, bread)
 	} else {
 		var err error
 		b, err = newBatch(p, pr)
@@ -311,12 +376,32 @@ func runLogical(is *qubo.Ising, p Params, read ReadFunc, r *rng.Source) (*Result
 	// One flat spin block backs every sample, so the batch performs O(1)
 	// allocations regardless of NumReads.
 	spins := make([]int8, p.NumReads*is.N)
-	parallelFor(p.NumReads, p.Parallelism, func(read int) {
-		out := spins[read*is.N : (read+1)*is.N]
-		if b.oneRead(read, r, out, &faults[read]) {
+	if b.bread != nil && p.Probe == nil {
+		// Lockstep path: reads advance through the sweep program in groups
+		// of lockstepWidth; per-read streams keep the outcome bit-identical
+		// to the sequential loop below (TestLockstepMatchesSequential).
+		finish := func(read int, prog *qubo.CSR, out []int8, st *readScratch) {
+			if !p.NoQuench {
+				prog.Quench(out, st.field)
+			}
+			faults[read].storm = p.Faults.storm(out, &st.fr)
 			samples[read] = qubo.Sample{Spins: out, Energy: is.Energy(out)}
 		}
-	})
+		parallelFor(groupCount(p.NumReads), p.Parallelism, func(g int) {
+			lo, hi := g*lockstepWidth, (g+1)*lockstepWidth
+			if hi > p.NumReads {
+				hi = p.NumReads
+			}
+			b.groupReads(lo, hi, r, spins, is.N, faults, finish)
+		})
+	} else {
+		parallelFor(p.NumReads, p.Parallelism, func(read int) {
+			out := spins[read*is.N : (read+1)*is.N]
+			if b.oneRead(read, r, out, &faults[read]) {
+				samples[read] = qubo.Sample{Spins: out, Energy: is.Energy(out)}
+			}
+		})
+	}
 	res.Samples, res.Faults = compactReads(samples, faults)
 	res.TotalAnnealTime = float64(p.NumReads) * res.ScheduleDuration
 	p.emitBatchTelemetry(res, faults)
@@ -416,17 +501,30 @@ func (q *QPU) Run(logical *qubo.Ising, p Params, r *rng.Source) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	return q.runEmbedded(logical, p, nil, r)
+	return q.runEmbedded(logical, p, nil, nil, r)
 }
 
 // runEmbedded is the shared embedded-problem body behind QPU.Run and
 // Lease.Run: embedding, pre-flight checks, the programming-fault draw,
 // and the physical read loop with per-read unembedding. A non-nil read
-// skips Engine.Prepare (the lease compiled it already); p must have
-// passed withDefaults.
-func (q *QPU) runEmbedded(logical *qubo.Ising, p Params, read ReadFunc, r *rng.Source) (*Result, error) {
+// skips Engine.Prepare (the lease compiled it already, along with the
+// optional lockstep bread); p must have passed withDefaults.
+func (q *QPU) runEmbedded(logical *qubo.Ising, p Params, read ReadFunc, bread BatchReadFunc, r *rng.Source) (*Result, error) {
+	emb, prPhys, err := q.prepareEmbedded(logical)
+	if err != nil {
+		return nil, err
+	}
+	return q.runEmbeddedCompiled(logical, emb, prPhys, p, read, bread, r)
+}
+
+// prepareEmbedded performs the per-problem compile of the embedded path:
+// clique embedding onto the smallest sufficient Chimera region, chain
+// strength, physical coefficients, CSR compile, normalization. The
+// result depends only on (QPU, problem), so Lease.PrepareProblem caches
+// it across calls.
+func (q *QPU) prepareEmbedded(logical *qubo.Ising) (*chimera.Embedding, *qubo.CSR, error) {
 	if logical.N > q.MaxProblemSize() {
-		return nil, fmt.Errorf("annealer: %d variables exceed QPU clique capacity %d", logical.N, q.MaxProblemSize())
+		return nil, nil, fmt.Errorf("annealer: %d variables exceed QPU clique capacity %d", logical.N, q.MaxProblemSize())
 	}
 	m := chimera.MinGridFor(logical.N)
 	if m > q.Grid {
@@ -435,7 +533,7 @@ func (q *QPU) runEmbedded(logical *qubo.Ising, p Params, read ReadFunc, r *rng.S
 	graph := chimera.NewGraph(m)
 	emb, err := chimera.EmbedClique(graph, logical.N)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cs := q.ChainStrength
 	if cs == 0 {
@@ -443,8 +541,19 @@ func (q *QPU) runEmbedded(logical *qubo.Ising, p Params, read ReadFunc, r *rng.S
 	}
 	phys, err := emb.EmbedIsing(logical, cs)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	prPhys := qubo.NewCSR(phys)
+	prPhys.Normalize()
+	return emb, prPhys, nil
+}
+
+// runEmbeddedCompiled is runEmbedded after the compile: prPhys must be
+// the normalized physical CSR of logical under emb. Like
+// runLogicalCompiled it only reads the compiled artifacts, so a cached
+// (emb, prPhys) pair may serve concurrent calls.
+func (q *QPU) runEmbeddedCompiled(logical *qubo.Ising, emb *chimera.Embedding, prPhys *qubo.CSR,
+	p Params, read ReadFunc, bread BatchReadFunc, r *rng.Source) (*Result, error) {
 	if p.Schedule.StartsClassical() {
 		if len(p.InitialState) != logical.N {
 			return nil, fmt.Errorf("annealer: reverse anneal needs an initial state of %d spins, got %d", logical.N, len(p.InitialState))
@@ -460,12 +569,11 @@ func (q *QPU) runEmbedded(logical *qubo.Ising, p Params, read ReadFunc, r *rng.S
 		p.emitHardFault(FaultProgramming)
 		return nil, &FaultError{Kind: FaultProgramming}
 	}
-	prPhys := qubo.NewCSR(phys)
-	prPhys.Normalize()
 	var b *batch
 	if read != nil {
-		b = newPreparedBatch(p, prPhys, read)
+		b = newPreparedBatch(p, prPhys, read, bread)
 	} else {
+		var err error
 		b, err = newBatch(p, prPhys)
 		if err != nil {
 			return nil, err
@@ -476,38 +584,59 @@ func (q *QPU) runEmbedded(logical *qubo.Ising, p Params, read ReadFunc, r *rng.S
 	faults := make([]readFault, p.NumReads)
 	// Flat blocks back both the physical readout and the unembedded
 	// logical samples — O(1) allocations per batch.
-	physSpins := make([]int8, p.NumReads*phys.N)
+	physSpins := make([]int8, p.NumReads*prPhys.N)
 	logSpins := make([]int8, p.NumReads*logical.N)
 	// Chain breakage is counted on the RAW engine output — the state the
 	// device's readout would see — before the quench heals chains on the
 	// way to each sample's reported basin, and before any storm.
 	broken := make([]int, p.NumReads)
-	parallelFor(p.NumReads, p.Parallelism, func(read int) {
-		phys := physSpins[read*b.base.N : (read+1)*b.base.N]
-		logical2 := logSpins[read*logical.N : (read+1)*logical.N]
-		st := b.pool.Get().(*readScratch)
-		r.SplitInto(&st.rr, uint64(read))
-		st.rr.SplitStringInto(&st.fr, "fault")
-		if b.p.Faults.readTimesOut(&st.fr) {
-			faults[read].timeout = true
+	if b.bread != nil && p.Probe == nil {
+		// Lockstep path over the physical problem; mirrors runLogical.
+		finish := func(read int, prog *qubo.CSR, phys []int8, st *readScratch) {
+			logical2 := logSpins[read*logical.N : (read+1)*logical.N]
+			broken[read] = emb.UnembedInto(logical2, phys)
+			if !p.NoQuench {
+				prog.Quench(phys, st.field)
+			}
+			faults[read].storm = p.Faults.storm(phys, &st.fr)
+			emb.UnembedInto(logical2, phys)
+			samples[read] = qubo.Sample{Spins: logical2, Energy: logical.Energy(logical2)}
+		}
+		parallelFor(groupCount(p.NumReads), p.Parallelism, func(g int) {
+			lo, hi := g*lockstepWidth, (g+1)*lockstepWidth
+			if hi > p.NumReads {
+				hi = p.NumReads
+			}
+			b.groupReads(lo, hi, r, physSpins, b.base.N, faults, finish)
+		})
+	} else {
+		parallelFor(p.NumReads, p.Parallelism, func(read int) {
+			phys := physSpins[read*b.base.N : (read+1)*b.base.N]
+			logical2 := logSpins[read*logical.N : (read+1)*logical.N]
+			st := b.pool.Get().(*readScratch)
+			r.SplitInto(&st.rr, uint64(read))
+			st.rr.SplitStringInto(&st.fr, "fault")
+			if b.p.Faults.readTimesOut(&st.fr) {
+				faults[read].timeout = true
+				b.pool.Put(st)
+				return
+			}
+			prog := b.program(st, &faults[read].drift)
+			var probe Probe
+			if p.Probe != nil {
+				probe = readProbe{p.Probe, read}
+			}
+			b.read(prog, p.InitialState, phys, &st.rr, probe)
+			broken[read] = emb.UnembedInto(logical2, phys)
+			if !p.NoQuench {
+				prog.Quench(phys, st.field)
+			}
+			faults[read].storm = p.Faults.storm(phys, &st.fr)
+			emb.UnembedInto(logical2, phys)
+			samples[read] = qubo.Sample{Spins: logical2, Energy: logical.Energy(logical2)}
 			b.pool.Put(st)
-			return
-		}
-		prog := b.program(st, &faults[read].drift)
-		var probe Probe
-		if p.Probe != nil {
-			probe = readProbe{p.Probe, read}
-		}
-		b.read(prog, p.InitialState, phys, &st.rr, probe)
-		broken[read] = emb.UnembedInto(logical2, phys)
-		if !p.NoQuench {
-			prog.Quench(phys, st.field)
-		}
-		faults[read].storm = p.Faults.storm(phys, &st.fr)
-		emb.UnembedInto(logical2, phys)
-		samples[read] = qubo.Sample{Spins: logical2, Energy: logical.Energy(logical2)}
-		b.pool.Put(st)
-	})
+		})
+	}
 	res.Samples, res.Faults = compactReads(samples, faults)
 	res.TotalAnnealTime = float64(p.NumReads) * res.ScheduleDuration
 	p.emitBatchTelemetry(res, faults)

@@ -1,0 +1,140 @@
+package annealer
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/qubo"
+	"repro/internal/rng"
+)
+
+// seqOnly hides an engine's BatchEngine implementation so callers fall
+// back to the one-read reference path — the handle equivalence tests use
+// to pit the lockstep kernel against its reference.
+type seqOnly struct{ Engine }
+
+func lockstepGroup(t testing.TB, eng Engine, sc *Schedule, prof Profile, rate float64,
+	pr *qubo.CSR, init []int8, reads int, seed uint64) ([][]int8, []rng.Source) {
+	t.Helper()
+	be, ok := eng.(BatchEngine)
+	if !ok {
+		t.Fatalf("engine %s does not implement BatchEngine", eng.Name())
+	}
+	_, batch, err := be.PrepareBatch(sc, prof, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := make([][]int8, reads)
+	rngs := make([]rng.Source, reads)
+	group := make([]BatchRead, reads)
+	root := rng.New(seed)
+	for j := 0; j < reads; j++ {
+		outs[j] = make([]int8, pr.N)
+		root.SplitInto(&rngs[j], uint64(j))
+		group[j] = BatchRead{Prog: pr, Out: outs[j], Rng: &rngs[j]}
+	}
+	batch(init, group)
+	return outs, rngs
+}
+
+func sequentialGroup(t testing.TB, eng Engine, sc *Schedule, prof Profile, rate float64,
+	pr *qubo.CSR, init []int8, reads int, seed uint64) ([][]int8, []rng.Source) {
+	t.Helper()
+	read, err := eng.Prepare(sc, prof, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := make([][]int8, reads)
+	rngs := make([]rng.Source, reads)
+	root := rng.New(seed)
+	for j := 0; j < reads; j++ {
+		outs[j] = make([]int8, pr.N)
+		root.SplitInto(&rngs[j], uint64(j))
+		read(pr, init, outs[j], &rngs[j], nil)
+	}
+	return outs, rngs
+}
+
+// assertGroupsEqual compares spins and final RNG states read by read.
+func assertGroupsEqual(t *testing.T, label string, seqOuts, batchOuts [][]int8, seqRngs, batchRngs []rng.Source) {
+	t.Helper()
+	for j := range seqOuts {
+		for i := range seqOuts[j] {
+			if seqOuts[j][i] != batchOuts[j][i] {
+				t.Fatalf("%s: read %d spin %d: sequential %d, lockstep %d",
+					label, j, i, seqOuts[j][i], batchOuts[j][i])
+			}
+		}
+		a0, a1, a2, a3 := seqRngs[j].State()
+		b0, b1, b2, b3 := batchRngs[j].State()
+		if a0 != b0 || a1 != b1 || a2 != b2 || a3 != b3 {
+			t.Fatalf("%s: read %d: final RNG state diverged", label, j)
+		}
+	}
+}
+
+// TestLockstepMatchesSequential is the lockstep≡sequential equivalence
+// property test: across engines, schedule shapes, problem shapes and
+// group sizes (including partial groups), the lockstep kernel must
+// reproduce the one-read reference path bit for bit — same spins, same
+// final RNG state per read.
+func TestLockstepMatchesSequential(t *testing.T) {
+	prof := DWave2000QProfile()
+	r := rng.New(0x10c)
+	for _, tc := range []struct {
+		name string
+		eng  Engine
+	}{
+		{"svmc", SVMC{}},
+		{"svmc-tf", SVMC{TFMoves: true}},
+		{"pimc", PIMC{Slices: 16}},
+		{"pimc-p3", PIMC{Slices: 3}},
+	} {
+		for _, n := range []int{1, 5, 33} {
+			for _, reads := range []int{1, 3, 8, 11} {
+				for _, sched := range []string{"forward", "reverse"} {
+					name := fmt.Sprintf("%s/n=%d/reads=%d/%s", tc.name, n, reads, sched)
+					t.Run(name, func(t *testing.T) {
+						is := randomIsing(t, r, n, 0.4)
+						pr := qubo.NewCSR(is)
+						pr.Normalize()
+						var sc *Schedule
+						var err error
+						var init []int8
+						if sched == "forward" {
+							sc, err = Forward(1, 0.41, 1)
+						} else {
+							sc, err = Reverse(0.55, 0.6)
+							init = make([]int8, n)
+							for i := range init {
+								init[i] = int8(1 - 2*(i%2))
+							}
+						}
+						if err != nil {
+							t.Fatal(err)
+						}
+						seed := r.Uint64()
+						seqOuts, seqRngs := sequentialGroup(t, tc.eng, sc, prof, 50, pr, init, reads, seed)
+						batchOuts, batchRngs := lockstepGroup(t, tc.eng, sc, prof, 50, pr, init, reads, seed)
+						assertGroupsEqual(t, name, seqOuts, batchOuts, seqRngs, batchRngs)
+					})
+				}
+			}
+		}
+	}
+}
+
+// randomIsing builds a dense-ish random problem with Gaussian couplings.
+func randomIsing(t testing.TB, r *rng.Source, n int, density float64) *qubo.Ising {
+	t.Helper()
+	is := qubo.NewIsing(n)
+	for i := 0; i < n; i++ {
+		is.H[i] = r.NormFloat64()
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < density {
+				is.SetCoupling(i, j, r.NormFloat64())
+			}
+		}
+	}
+	return is
+}

@@ -140,6 +140,74 @@ func BenchmarkRun(b *testing.B) {
 	}
 }
 
+// BenchmarkLeasePreparedHit measures what a serving tier pays per frame
+// once the prepared-problem cache is warm: RunPrepared on an embedded
+// lease against an already-compiled Prepared, skipping clique
+// embedding, chain strength, physical layout and normalization. Compare
+// against BenchmarkLeaseRunUncached for the compile the cache elides.
+func BenchmarkLeasePreparedHit(b *testing.B) {
+	in, err := instance.Synthesize(instance.Spec{Users: 8, Scheme: modulation.QAM16, Seed: 0xBE9C})
+	if err != nil {
+		b.Fatal(err)
+	}
+	is := in.Reduction.Ising
+	fa, _ := Forward(1, 0.41, 1)
+	p := Params{Schedule: fa, NumReads: 32, SweepsPerMicrosecond: 30}
+	l, err := NewQPU2000Q().Lease(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prep, err := l.PrepareProblem(is)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.RunPrepared(prep, nil, 32, rng.New(uint64(i)+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if dir := os.Getenv(telemetry.BenchJSONDirEnv); dir != "" {
+		rec := telemetry.BenchRecord{
+			Name:       "AnnealerLeasePreparedHit32Reads",
+			NsPerOp:    float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+			Iterations: b.N,
+			Config: map[string]any{
+				"engine": "svmc", "reads": 32, "spins": is.N, "path": "embedded-cache-hit",
+			},
+			Series: fmt.Sprintf("reads=32 spins=%d ns/op=%.0f", is.N,
+				float64(b.Elapsed().Nanoseconds())/float64(b.N)),
+		}
+		if err := telemetry.WriteBenchJSON(dir, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLeaseRunUncached is BenchmarkLeasePreparedHit's control: the
+// same embedded batch through Lease.Run, recompiling the problem every
+// call the way a cache miss (or cache-off serve) does.
+func BenchmarkLeaseRunUncached(b *testing.B) {
+	in, err := instance.Synthesize(instance.Spec{Users: 8, Scheme: modulation.QAM16, Seed: 0xBE9C})
+	if err != nil {
+		b.Fatal(err)
+	}
+	is := in.Reduction.Ising
+	fa, _ := Forward(1, 0.41, 1)
+	l, err := NewQPU2000Q().Lease(Params{Schedule: fa, NumReads: 32, SweepsPerMicrosecond: 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Run(is, nil, 32, rng.New(uint64(i)+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRunICEFaults exercises the noisy programming path (per-read
 // coefficient clones) to pin that pooled clones keep it allocation-light.
 func BenchmarkRunICEFaults(b *testing.B) {

@@ -52,6 +52,56 @@ type Engine interface {
 // nothing.
 type ReadFunc func(pr *qubo.CSR, init []int8, out []int8, r *rng.Source, probe Probe)
 
+// BatchRead describes one resident read of a lockstep group: the compiled
+// problem it runs against (all reads of a group must share the problem
+// TOPOLOGY — Offsets/Cols — though coefficients may differ per read), the
+// output spin buffer, and the read's private RNG stream.
+type BatchRead struct {
+	Prog *qubo.CSR
+	Out  []int8
+	Rng  *rng.Source
+}
+
+// BatchReadFunc evolves a group of reads in LOCKSTEP: all reads advance
+// through the sweep program together, with spin state stored as
+// struct-of-arrays (read-major contiguous blocks) so the per-sweep
+// schedule constants are loaded once per group and the reads' independent
+// dependency chains overlap in the pipeline instead of serializing.
+//
+// Each read draws from its own Rng in EXACTLY the order the one-read
+// ReadFunc would — the streams are private, so interleaving reads cannot
+// change any draw — and performs the identical floating-point operations,
+// so outcomes are bit-identical to running the reads sequentially through
+// the ReadFunc (the reference implementation, enforced by
+// TestLockstepMatchesSequential). On return every Rng has advanced
+// exactly as the sequential read would have left it.
+//
+// init is the shared programmed initial state (schedules starting at
+// s = 1); probes are not supported — probed runs take the sequential
+// reference path. BatchReadFuncs are safe for concurrent use: group
+// scratch is pooled internally.
+type BatchReadFunc func(init []int8, reads []BatchRead)
+
+// BatchEngine is implemented by engines that provide a lockstep
+// multi-read kernel alongside the one-read reference path. PrepareBatch
+// compiles the same batch-invariant sweep program as Prepare and returns
+// both entry points; the caller picks per run (the batched path whenever
+// no probe is attached).
+type BatchEngine interface {
+	Engine
+	// PrepareBatch compiles the sweep program once and returns the
+	// sequential reference ReadFunc plus the lockstep BatchReadFunc.
+	// The validation contract matches Prepare.
+	PrepareBatch(sc *Schedule, prof Profile, sweepsPerMicrosecond float64) (ReadFunc, BatchReadFunc, error)
+}
+
+// lockstepWidth is the number of reads resident in one lockstep group.
+// Eight reads give the out-of-order core enough independent RNG/trig/
+// field dependency chains to hide each chain's latency while the group's
+// struct-of-arrays spin state still fits comfortably in L2 for the
+// paper's embedded problem sizes.
+const lockstepWidth = 8
+
 // sweepTable is the batch-shared sweep program: for each Monte-Carlo
 // sweep, the schedule time, anneal fraction and energy scales every read
 // will see there. Engines extend it with their own derived columns

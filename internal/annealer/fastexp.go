@@ -34,12 +34,24 @@ func init() {
 }
 
 // metroBracket resolves u < exp(−x) against the bracket alone: +1 means
-// accept, −1 reject, 0 undecided (the draw landed inside the bracket, or
-// x is past the table) — undecided must be settled by metropolisExpExact.
-// It contains no calls, so it inlines into the engines' proposal loops.
+// accept, −1 reject, 0 undecided (the draw landed inside the bracket) —
+// undecided must be settled by metropolisExpExact. It contains no calls,
+// so it inlines into the engines' proposal loops.
+//
+// Past the table (x ≥ 40, up to one rounding of x·32) exp(−x) < 4.3e−18
+// is strictly below 2⁻⁵³, so every u ≥ 2⁻⁵³ rejects without touching the
+// table — this is the frozen tail of the anneal, where uphill costs
+// dwarf the temperature and the old unconditional math.Exp fallback
+// burned ~20 ns per proposal. Since Float64() draws are multiples of
+// 2⁻⁵³, the only engine draw the tail cannot settle is u == 0
+// (probability 2⁻⁵³): whether it accepts depends on whether exp(−x) has
+// underflowed to exactly 0, which the exact comparison gets right.
 func metroBracket(u, x float64) int32 {
 	k := uint(x * expGridStep)
 	if k >= expGridMax {
+		if u >= 0x1p-53 {
+			return -1
+		}
 		return 0
 	}
 	if u >= expBounds[2*k] {

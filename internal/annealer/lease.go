@@ -21,9 +21,10 @@ import (
 // read-only and per-read scratch is pooled per batch — so an execution
 // layer may run batches of the same device on multiple workers.
 type Lease struct {
-	p    Params
-	read ReadFunc
-	qpu  *QPU
+	p     Params
+	read  ReadFunc
+	bread BatchReadFunc // lockstep kernel; nil when the engine has none
+	qpu   *QPU
 }
 
 // NewLease validates p once, compiles the engine's sweep program, and
@@ -35,6 +36,13 @@ func NewLease(p Params) (*Lease, error) {
 	p, err := p.withDefaults()
 	if err != nil {
 		return nil, err
+	}
+	if be, ok := p.Engine.(BatchEngine); ok {
+		read, bread, err := be.PrepareBatch(p.Schedule, *p.Profile, p.SweepsPerMicrosecond)
+		if err != nil {
+			return nil, err
+		}
+		return &Lease{p: p, read: read, bread: bread}, nil
 	}
 	read, err := p.Engine.Prepare(p.Schedule, *p.Profile, p.SweepsPerMicrosecond)
 	if err != nil {
@@ -93,7 +101,7 @@ func (l *Lease) Run(is *qubo.Ising, init []int8, numReads int, r *rng.Source) (*
 		return nil, fmt.Errorf("annealer: %d reads exceed the per-read stream limit %d", p.NumReads, MaxReads)
 	}
 	if l.qpu != nil {
-		return l.qpu.runEmbedded(is, p, l.read, r)
+		return l.qpu.runEmbedded(is, p, l.read, l.bread, r)
 	}
-	return runLogical(is, p, l.read, r)
+	return runLogical(is, p, l.read, l.bread, r)
 }

@@ -132,21 +132,29 @@ func (e SVMC) read(pr *qubo.CSR, tab *sweepTable, scale []float64, beta float64,
 		if len(init) != n {
 			panic("annealer: SVMC reverse anneal requires an initial state")
 		}
+		// Loop-invariant transcendentals hoisted: cos 0 = 1, sin 0 = 0 and
+		// cos π = −1 are exact; sin π is the (nonzero) libm value at the
+		// double nearest π and must stay bit-identical to math.Sin, which
+		// TestSVMCStartConstants pins.
+		sinPi := math.Sin(math.Pi)
 		for i, s := range init {
 			if s > 0 {
 				theta[i] = 0
+				z[i] = 1
+				sinT[i] = 0
 			} else {
 				theta[i] = math.Pi
+				z[i] = -1
+				sinT[i] = sinPi
 			}
-			z[i] = math.Cos(theta[i])
-			sinT[i] = math.Sin(theta[i])
 		}
 	} else {
 		// Forward start: rotors aligned with the transverse field.
+		// sin(π/2) evaluates to exactly 1 (TestSVMCStartConstants).
 		for i := range theta {
 			theta[i] = math.Pi / 2
 			z[i] = 0
-			sinT[i] = math.Sin(math.Pi / 2)
+			sinT[i] = 1
 		}
 	}
 	// zField[i] = h_i + Σ_j J_ij·cos θ_j, maintained incrementally.

@@ -1,0 +1,490 @@
+package annealer
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// Lockstep SVMC: R reads of one batch advance through the sweep program
+// together. The sequential read loop is latency-bound — every proposal
+// chains an RNG step into sinCosPi's polynomial into the dE compare, and
+// the core sits idle waiting on each link. Interleaving R independent
+// reads per (sweep, proposal) step gives the out-of-order window R
+// disjoint chains to overlap, which is where the kernel's speedup comes
+// from; the schedule constants and the shared CSR topology are also
+// loaded once per group step instead of once per read.
+//
+// Per-read state is struct-of-arrays in read-major contiguous blocks:
+// read j's rotor caches live at [j*n, (j+1)*n) (theta only materializes
+// for TF moves, the one variant that reads it). The three per-spin
+// quantities the accept test reads together — z, sin θ, and the local
+// field — are interleaved as triplets in one flat rot array (spin bi at
+// rot[3bi..3bi+2]), so scoring a proposal touches ONE cache line where
+// the column layout took three: with eight resident reads the rotor
+// state overflows L1, and the dE loads were the kernel's largest miss
+// source. Each proposal step is split into two stages:
+// stage 1 draws the proposal (index + angle) and evaluates the trig for
+// every resident read — branch-light, so the FP chains pipeline back to
+// back — and stage 2 scores and applies it, confining the unpredictable
+// accept/reject branches to code the trig no longer waits on. Every read
+// draws from its own stream in exactly the sequential order (index draw,
+// angle draw, then one uniform per uphill proposal), so outcomes are
+// bit-identical to the one-read reference path.
+type svmcBatchScratch struct {
+	rot                []float64 // z, sinT, zField triplets per (read, spin)
+	theta              []float64 // read-major rotor angles, TF-only
+	rs0, rs1, rs2, rs3 []uint64  // per-read xoshiro256++ state
+	idx                []uint64  // stage-1 proposal index per read
+	nsin, ncos         []float64 // stage-1 proposal trig per read
+	nang               []float64 // stage-1 proposal angle (TF only)
+	dE                 []float64 // stage-2 proposal energy delta per read
+	u                  []float64 // stage-2 uphill uniform per read (SIMD)
+	lanoff             []uint64  // per-lane rot offset 3·j·n (0 for padding)
+	args               []svmcStepArgs
+}
+
+// svmcStepArgs is the 8-lane SIMD kernel's argument block: one chunk's
+// array pointers and scalars at fixed offsets, so each per-proposal
+// kernel call marshals a single pointer instead of 17 stack arguments
+// (the call sits in a loop that runs once per spin per sweep — the
+// marshaling alone was a measurable slice of the sweep). The layout is
+// hard offsets in svmc_simd_amd64.s, asserted at init; accm/exm are
+// OUTPUTS the kernel writes: bit j of accm/exm is lane j's
+// accepted-outright / bracket-undecided verdict.
+type svmcStepArgs struct {
+	rs0, rs1, rs2, rs3 *[8]uint64  // +0 +8 +16 +24
+	idx                *[8]uint64  // +32
+	sn, cs             *[8]float64 // +40 +48
+	rot                *float64    // +56
+	lanoff             *[8]uint64  // +64
+	dE, u              *[8]float64 // +72 +80
+	nb, negnb          uint64      // +88 +96
+	na2, b2, beta      float64     // +104 +112 +120
+	accm, exm          uint16      // +128 +130 (kernel-written)
+}
+
+// ensure sizes the scratch for an r-read group of n spins. The per-lane
+// arrays (states, proposal outputs) are rounded up to a multiple of the
+// 8-lane SIMD chunk; lanes beyond r are padding the SIMD kernel can
+// advance harmlessly (stage 2 and the epilogue only walk j < r).
+func (st *svmcBatchScratch) ensure(r, n int) {
+	if cap(st.rot) < 3*r*n {
+		st.rot = make([]float64, 3*r*n)
+		st.theta = make([]float64, r*n)
+	}
+	st.rot = st.rot[:3*r*n]
+	st.theta = st.theta[:r*n]
+	rr := (r + 7) &^ 7
+	if cap(st.rs0) < rr {
+		st.rs0 = make([]uint64, rr)
+		st.rs1 = make([]uint64, rr)
+		st.rs2 = make([]uint64, rr)
+		st.rs3 = make([]uint64, rr)
+		st.idx = make([]uint64, rr)
+		st.nsin = make([]float64, rr)
+		st.ncos = make([]float64, rr)
+		st.nang = make([]float64, rr)
+		st.dE = make([]float64, rr)
+		st.u = make([]float64, rr)
+		st.lanoff = make([]uint64, rr)
+		st.args = make([]svmcStepArgs, rr/8)
+	}
+	st.rs0 = st.rs0[:rr]
+	st.rs1 = st.rs1[:rr]
+	st.rs2 = st.rs2[:rr]
+	st.rs3 = st.rs3[:rr]
+	st.idx = st.idx[:rr]
+	st.nsin = st.nsin[:rr]
+	st.ncos = st.ncos[:rr]
+	st.nang = st.nang[:rr]
+	st.dE = st.dE[:rr]
+	st.u = st.u[:rr]
+	st.lanoff = st.lanoff[:rr]
+	st.args = st.args[:rr/8]
+}
+
+// PrepareBatch implements BatchEngine: the same compiled sweep program as
+// Prepare, returned with both the one-read reference path and the
+// lockstep group kernel over it.
+func (e SVMC) PrepareBatch(sc *Schedule, prof Profile, sweepsPerMicrosecond float64) (ReadFunc, BatchReadFunc, error) {
+	read, err := e.Prepare(sc, prof, sweepsPerMicrosecond)
+	if err != nil {
+		return nil, nil, err
+	}
+	tab, err := newSweepTable(sc, prof, sweepsPerMicrosecond)
+	if err != nil {
+		return nil, nil, err
+	}
+	beta := 1 / prof.TemperatureGHz
+	minScale := e.MinMoveScale
+	if minScale <= 0 {
+		minScale = 0.02
+	}
+	var scale []float64
+	if e.TFMoves {
+		scale = make([]float64, tab.sweeps())
+		for i := range scale {
+			scale[i] = moveScale(tab.a[i], tab.b[i], minScale)
+		}
+	}
+	startsClassical := sc.StartsClassical()
+	pool := &sync.Pool{New: func() any { return new(svmcBatchScratch) }}
+	batch := func(init []int8, reads []BatchRead) {
+		if len(reads) == 0 {
+			return
+		}
+		st := pool.Get().(*svmcBatchScratch)
+		svmcBatchRead(tab, scale, beta, startsClassical, init, reads, st)
+		pool.Put(st)
+	}
+	return read, batch, nil
+}
+
+// svmcBatchRead evolves one lockstep group. Reads must share problem
+// topology (per-read coefficient clones off one base CSR qualify).
+func svmcBatchRead(tab *sweepTable, scale []float64, beta float64,
+	startsClassical bool, init []int8, reads []BatchRead, st *svmcBatchScratch) {
+	r := len(reads)
+	n := reads[0].Prog.N
+	st.ensure(r, n)
+	rot, theta := st.rot, st.theta
+	tf := scale != nil
+
+	// Per-read state initialisation — identical constants to the
+	// sequential path, with the reverse-start transcendentals hoisted
+	// (cos π = −1 exactly; sin π is the libm value at the double nearest
+	// π, not zero, and must match bit for bit).
+	sinPi := math.Sin(math.Pi)
+	for j := range reads {
+		base := j * n
+		if startsClassical {
+			for i, s := range init {
+				if s > 0 {
+					if tf {
+						theta[base+i] = 0
+					}
+					rot[3*(base+i)] = 1
+					rot[3*(base+i)+1] = 0
+				} else {
+					if tf {
+						theta[base+i] = math.Pi
+					}
+					rot[3*(base+i)] = -1
+					rot[3*(base+i)+1] = sinPi
+				}
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if tf {
+					theta[base+i] = math.Pi / 2
+				}
+				rot[3*(base+i)] = 0
+				rot[3*(base+i)+1] = 1
+			}
+		}
+		pr := reads[j].Prog
+		cols, w, offs := pr.Cols, pr.W, pr.Offsets
+		for i := 0; i < n; i++ {
+			f := pr.H[i]
+			for k := offs[i]; k < offs[i+1]; k++ {
+				f += w[k] * rot[3*(base+int(cols[k]))]
+			}
+			rot[3*(base+i)+2] = f
+		}
+		st.rs0[j], st.rs1[j], st.rs2[j], st.rs3[j] = reads[j].Rng.State()
+	}
+	rs0, rs1, rs2, rs3 := st.rs0, st.rs1, st.rs2, st.rs3
+	idx, nsin, ncos, nang := st.idx, st.nsin, st.ncos, st.nang
+	// SIMD padding lanes: any nonzero xoshiro state works — they are
+	// advanced alongside the real lanes and their outputs never read.
+	rr := len(rs0)
+	for j := r; j < rr; j++ {
+		rs0[j], rs1[j], rs2[j], rs3[j] = 0x9E3779B97F4A7C15, 0xBF58476D1CE4E5B9, 0x94D049BB133111EB, uint64(j)+1
+	}
+
+	nb := uint64(n)
+	negnb := lemireThreshold(n)
+	// The AVX2 kernel covers the default (global-move) proposal; TF moves
+	// branch on the gate draw and read theta, so they stay scalar. The
+	// nb bound is the 32-bit limb decomposition's precondition.
+	useSIMD := hasBatchSIMD && !tf && nb <= 0xFFFFFFFF
+	// Per-lane rot offsets for the kernel's triplet gathers; padding
+	// lanes alias read 0's block so their (masked-off, never-read)
+	// gathers stay inside the allocation.
+	lan := st.lanoff
+	for j := 0; j < r; j++ {
+		lan[j] = uint64(3 * j * n)
+	}
+	for j := r; j < rr; j++ {
+		lan[j] = 0
+	}
+	dEs, uu := st.dE, st.u
+	for ci := range st.args {
+		c := ci * 8
+		*(&st.args[ci]) = svmcStepArgs{
+			rs0: (*[8]uint64)(rs0[c:]), rs1: (*[8]uint64)(rs1[c:]),
+			rs2: (*[8]uint64)(rs2[c:]), rs3: (*[8]uint64)(rs3[c:]),
+			idx: (*[8]uint64)(idx[c:]),
+			sn:  (*[8]float64)(nsin[c:]), cs: (*[8]float64)(ncos[c:]),
+			rot: &rot[0], lanoff: (*[8]uint64)(lan[c:]),
+			dE: (*[8]float64)(dEs[c:]), u: (*[8]float64)(uu[c:]),
+			nb: uint64(n), negnb: lemireThreshold(n), beta: beta,
+		}
+	}
+	sweeps := tab.sweeps()
+	for sweep := 0; sweep < sweeps; sweep++ {
+		na2 := -tab.a[sweep] / 2
+		b2 := tab.b[sweep] / 2
+		sc := 1.0
+		if tf {
+			sc = scale[sweep]
+		}
+		if useSIMD {
+			for ci := range st.args {
+				st.args[ci].na2, st.args[ci].b2 = na2, b2
+			}
+		}
+		for k := 0; k < n; k++ {
+			// Stage 1+2 on amd64: the AVX2 kernel runs the whole proposal
+			// step 4-wide — draws, trig, the triplet gather and dE score,
+			// the conditional uphill draw and the exp-bracket verdict —
+			// with the gathers' L2 latency hidden under the polynomial
+			// work. The Go loop below only acts on the verdict masks: the
+			// rare bracket-undecided lanes call math.Exp, accepted lanes
+			// apply the spin update and walk the CSR row. Chunks where a
+			// lane hits the Lemire rejection (probability n/2⁶⁴) replay
+			// through the scalar reference scorer.
+			if useSIMD {
+				for ci := range st.args {
+					a := &st.args[ci]
+					var am, em uint32
+					if svmcStepx8(a) {
+						am, em = uint32(a.accm), uint32(a.exm)
+					} else {
+						am, em = svmcScoreScalar(st, ci*8, nb, negnb, rot, na2, b2, beta)
+					}
+					// Walk only the lanes with something to do — in the
+					// frozen tail of the anneal nearly every proposal
+					// rejects outright and the whole chunk is skipped.
+					c := ci * 8
+					nlive := r - c
+					if nlive > 8 {
+						nlive = 8
+					}
+					live := uint32(1)<<uint(nlive) - 1
+					work := (am | em) & live
+					for work != 0 {
+						jj := uint(work & -work)
+						j := c + bits.TrailingZeros32(work)
+						work &= work - 1
+						accept := am&uint32(jj) != 0
+						if em&uint32(jj) != 0 {
+							accept = metropolisExpExact(uu[j], beta*dEs[j])
+						}
+						if accept {
+							bi := int(lan[j]) + 3*int(idx[j])
+							nz := ncos[j]
+							dz := nz - rot[bi]
+							rot[bi] = nz
+							rot[bi+1] = nsin[j]
+							pr := reads[j].Prog
+							cols, w, offs := pr.Cols, pr.W, pr.Offsets
+							i := int(idx[j])
+							base := j * n
+							for kk := offs[i]; kk < offs[i+1]; kk++ {
+								rot[3*(base+int(cols[kk]))+2] += w[kk] * dz
+							}
+						}
+					}
+				}
+				continue
+			}
+			// Stage 1 (non-SIMD): draw every resident read's proposal and
+			// evaluate its trig. No data-dependent branches on the default
+			// path (the Lemire rejection loop retries with probability
+			// n/2⁶⁴), so the R sinCosPi chains overlap freely.
+			if !tf {
+				svmcStage1Scalar(st, 0, r, nb, negnb)
+			} else {
+				// TF proposals draw index, gate, then angle — exactly the
+				// sequential order — and need the current rotor angle for
+				// local moves, so theta is live here.
+				for j := 0; j < r; j++ {
+					s0, s1, s2, s3 := rs0[j], rs1[j], rs2[j], rs3[j]
+					var x uint64
+					x, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
+					hi, lo := bits.Mul64(x, nb)
+					for lo < negnb {
+						x, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
+						hi, lo = bits.Mul64(x, nb)
+					}
+					i := int(hi)
+					x, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
+					global := float64(x>>11)*(1.0/(1<<53)) < sc
+					var nt, sinNt, nz float64
+					x, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
+					if global {
+						u := float64(x>>11) * (1.0 / (1 << 53))
+						nt = math.Pi * u
+						sinNt, nz = sinCosPi(u)
+					} else {
+						nt = theta[j*n+i] + (2*(float64(x>>11)*(1.0/(1<<53)))-1)*math.Pi*sc
+						if nt < 0 {
+							nt = -nt
+						}
+						if nt > math.Pi {
+							nt = 2*math.Pi - nt
+						}
+						u := nt * (1 / math.Pi)
+						if u > 1 {
+							u = 1 // guard the π·(1/π) rounding at nt = π
+						}
+						sinNt, nz = sinCosPi(u)
+					}
+					rs0[j], rs1[j], rs2[j], rs3[j] = s0, s1, s2, s3
+					idx[j] = hi
+					nang[j] = nt
+					nsin[j], ncos[j] = sinNt, nz
+				}
+			}
+			// Stage 2a: score every resident read branch-free. Split from
+			// the decision loop below so all R triplet loads issue and
+			// retire before the first unpredictable accept branch — a
+			// mispredict there would otherwise flush the speculated loads
+			// of every later read and serialize the misses.
+			dEs := st.dE
+			for j := 0; j < r; j++ {
+				bi := 3 * (j*n + int(idx[j]))
+				// One triplet load — same expression tree as the sequential
+				// engine, so the rounding is identical.
+				dEs[j] = na2*(nsin[j]-rot[bi+1]) + b2*(ncos[j]-rot[bi])*rot[bi+2]
+			}
+			// Stage 2b: decide and apply. The accept/reject branches live
+			// here, after every read's trig and dE have already retired.
+			for j := 0; j < r; j++ {
+				bi := 3 * (j*n + int(idx[j]))
+				sn := nsin[j]
+				nz := ncos[j]
+				dE := dEs[j]
+				accept := dE <= 0
+				if !accept {
+					s0, s1, s2, s3 := rs0[j], rs1[j], rs2[j], rs3[j]
+					var x uint64
+					x, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
+					rs0[j], rs1[j], rs2[j], rs3[j] = s0, s1, s2, s3
+					u := float64(x>>11) * (1.0 / (1 << 53))
+					xx := beta * dE
+					// metroBracket, unrolled branchlessly: the outcome of
+					// u < exp(−xx) is a coin flip the branch predictor
+					// cannot learn, so resolve both bracket compares as
+					// flags (one cache line, loads issued unconditionally)
+					// and branch only for the rare inside-the-bracket case.
+					// Decision-identical to metropolisExp on every input.
+					k := uint(xx * expGridStep)
+					if k < expGridMax {
+						acc := u < expBounds[2*k+1]
+						if acc != (u < expBounds[2*k]) {
+							acc = metropolisExpExact(u, xx)
+						}
+						accept = acc
+					} else {
+						accept = u < 0x1p-53 && metropolisExpExact(u, xx)
+					}
+				}
+				if accept {
+					dz := nz - rot[bi]
+					if tf {
+						theta[j*n+int(idx[j])] = nang[j]
+					}
+					rot[bi] = nz
+					rot[bi+1] = sn
+					pr := reads[j].Prog
+					cols, w, offs := pr.Cols, pr.W, pr.Offsets
+					i := int(idx[j])
+					base := j * n
+					for kk := offs[i]; kk < offs[i+1]; kk++ {
+						rot[3*(base+int(cols[kk]))+2] += w[kk] * dz
+					}
+				}
+			}
+		}
+	}
+
+	for j := range reads {
+		reads[j].Rng.SetState(rs0[j], rs1[j], rs2[j], rs3[j])
+		base := j * n
+		out := reads[j].Out
+		for i := 0; i < n; i++ {
+			if rot[3*(base+i)] >= 0 {
+				out[i] = 1
+			} else {
+				out[i] = -1
+			}
+		}
+	}
+}
+
+// svmcStage1Scalar is the pure-Go stage 1 for the default (global-move)
+// proposal over lanes [c0, c1): one bounded index draw, one angle draw,
+// sinCosPi. It is both the non-SIMD path and the reference the AVX2
+// kernel must match bit for bit — and the fallback that replays a chunk
+// whose SIMD call bailed on a Lemire rejection (the kernel stores
+// nothing in that case, so replaying from the untouched states is
+// exact, rejection loop included).
+func svmcStage1Scalar(st *svmcBatchScratch, c0, c1 int, nb, negnb uint64) {
+	rs0, rs1, rs2, rs3 := st.rs0, st.rs1, st.rs2, st.rs3
+	idx, nsin, ncos := st.idx, st.nsin, st.ncos
+	for j := c0; j < c1; j++ {
+		s0, s1, s2, s3 := rs0[j], rs1[j], rs2[j], rs3[j]
+		var x uint64
+		x, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
+		hi, lo := bits.Mul64(x, nb)
+		for lo < negnb {
+			x, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
+			hi, lo = bits.Mul64(x, nb)
+		}
+		x, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
+		rs0[j], rs1[j], rs2[j], rs3[j] = s0, s1, s2, s3
+		u := float64(x>>11) * (1.0 / (1 << 53))
+		sn, cs := sinCosPi(u)
+		idx[j] = hi
+		nsin[j], ncos[j] = sn, cs
+	}
+}
+
+// svmcScoreScalar is the scalar reference for the full SIMD proposal
+// step over the 8-lane chunk starting at c0: stage 1 plus the dE score,
+// the conditional uphill draw, and the bracket verdict, materialized
+// into the same per-lane arrays and verdict bitmasks svmcStepx8 fills.
+// It replays a chunk whose SIMD call bailed on a Lemire rejection — the
+// kernel stores nothing in that case, so replaying from the untouched
+// states is exact. Padding lanes score against read 0's block through
+// their zero lanoff, mirroring the kernel's in-bounds garbage lanes.
+func svmcScoreScalar(st *svmcBatchScratch, c0 int, nb, negnb uint64,
+	rot []float64, na2, b2, beta float64) (am, em uint32) {
+	svmcStage1Scalar(st, c0, c0+8, nb, negnb)
+	for j := c0; j < c0+8; j++ {
+		bi := int(st.lanoff[j]) + 3*int(st.idx[j])
+		dE := na2*(st.nsin[j]-rot[bi+1]) + b2*(st.ncos[j]-rot[bi])*rot[bi+2]
+		st.dE[j] = dE
+		bit := uint32(1) << uint(j-c0)
+		if dE <= 0 {
+			am |= bit
+		} else {
+			s0, s1, s2, s3 := st.rs0[j], st.rs1[j], st.rs2[j], st.rs3[j]
+			var x uint64
+			x, s0, s1, s2, s3 = xoshiroNext(s0, s1, s2, s3)
+			st.rs0[j], st.rs1[j], st.rs2[j], st.rs3[j] = s0, s1, s2, s3
+			u := float64(x>>11) * (1.0 / (1 << 53))
+			st.u[j] = u
+			switch metroBracket(u, beta*dE) {
+			case 1:
+				am |= bit
+			case 0:
+				em |= bit
+			}
+		}
+	}
+	return am, em
+}

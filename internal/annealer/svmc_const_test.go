@@ -1,0 +1,46 @@
+package annealer
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSVMCStartConstants pins the exact trigonometric values SVMC's
+// start-state initialization hoists out of its loops (svmc.go). The
+// forward start writes the literals cos(π/2) = 0 is NOT assumed —
+// rotors start at θ = π/2 with z = 0 by definition — but sinT[i] = 1
+// relies on sin(π/2) evaluating to exactly 1. The reverse start writes
+// θ ∈ {0, π} with z = ±1 and sinT ∈ {0, sin π}; sin 0 = 0, cos 0 = 1
+// and cos π = −1 are exact in IEEE-754, while sin π is the nonzero
+// libm value at the double nearest π, so the hoisted constant must stay
+// bit-identical to a fresh math.Sin call. If a Go release ever changed
+// any of these, reverse/forward anneals would silently stop being
+// bit-reproducible against committed goldens — this test turns that
+// into a loud failure.
+func TestSVMCStartConstants(t *testing.T) {
+	if v := math.Sin(math.Pi / 2); v != 1 {
+		t.Errorf("sin(π/2) = %x, want exactly 1", v)
+	}
+	if v := math.Cos(0); v != 1 {
+		t.Errorf("cos(0) = %x, want exactly 1", v)
+	}
+	if v := math.Sin(0); v != 0 || math.Signbit(v) {
+		t.Errorf("sin(0) = %x, want exactly +0", v)
+	}
+	if v := math.Cos(math.Pi); v != -1 {
+		t.Errorf("cos(π) = %x, want exactly -1", v)
+	}
+	// sin π is NOT zero: math.Pi is below π, so sin(math.Pi) is a
+	// residual ≈ 1.2246e-16. The reverse start stores this value for
+	// down spins; pin the bit pattern of Go's implementation (slightly
+	// off the correctly-rounded 0x3ca1a62633145c07 — that inaccuracy is
+	// harmless, but it must not drift between releases, or reverse
+	// anneals stop reproducing committed goldens).
+	sinPi := math.Sin(math.Pi)
+	if sinPi == 0 {
+		t.Error("sin(math.Pi) evaluated to 0; the hoisted reverse-start constant assumes a nonzero residual")
+	}
+	if got := math.Float64bits(sinPi); got != 0x3ca1a62633145c00 {
+		t.Errorf("sin(math.Pi) bits = %#x, want 0x3ca1a62633145c00", got)
+	}
+}

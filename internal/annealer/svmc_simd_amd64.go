@@ -1,0 +1,86 @@
+package annealer
+
+import "math"
+
+// The lockstep SVMC proposal kernel in svmc_simd_amd64.s: one call runs
+// a full proposal step for eight resident reads with 4-wide AVX2
+// vectors — index and angle draws, sinCosPi, the triplet gather of
+// (z, sinθ, field), the dE score, the conditional uphill uniform draw,
+// and the exp-bracket verdict. Every operation is either exact integer
+// arithmetic (xoshiro256++, the Lemire product, the (x>>11)·2⁻⁵³
+// conversion, the fold/swap/sign bit masks, the mask logic) or an
+// IEEE-754 vector mul/add/sub that rounds identically to its scalar
+// counterpart, so the outputs are bit-identical to the scalar path —
+// enforced by TestLockstepMatchesSequential. FMA is never used:
+// contracting a mul+add pair would change the rounding.
+//
+// svmcStepx8 advances a.rs0..rs3 (index draw, angle draw, and — only
+// for lanes whose dE came out positive — the uphill uniform, exactly
+// the sequential draw order) and fills a.idx, sn, cs, dE (the
+// proposal's energy delta), u (the uphill uniform; garbage for downhill
+// lanes), and the verdict bitmasks a.accm (bit j: lane j accepted
+// outright) and a.exm (bit j: the bracket could not decide and the
+// caller must settle u < exp(−beta·dE) with metropolisExpExact; such
+// lanes' accm bit is meaningless). Lane j's spin triplets live at
+// rot[lanoff[j]+3i]; a padding lane must carry lanoff 0 so its gathers
+// stay in bounds. If any lane's index draw hits the Lemire rejection
+// (probability n/2⁶⁴ per lane), the kernel returns false WITHOUT
+// writing anything — states included — and the caller redoes the step
+// through the scalar reference path. Requires nb < 2³², nonzero states,
+// and AVX2 (hasBatchSIMD).
+func svmcStepx8(a *svmcStepArgs) bool
+
+// cpuHasAVX2 reports AVX2 plus OS support for YMM state (OSXSAVE +
+// XCR0 XMM|YMM), probed with CPUID/XGETBV in svmc_simd_amd64.s.
+func cpuHasAVX2() bool
+
+var hasBatchSIMD = cpuHasAVX2()
+
+// svmcSIMDTab is the constant table the assembly kernel loads its
+// 256-bit operands from: each logical constant replicated across the
+// four lanes of a YMM register. The polynomial coefficients are copied
+// from the same init()-computed sinPiCoef/cosPiCoef tables the scalar
+// sinCosPi reads, so the two paths cannot drift. Field order and the
+// 32-byte stride are hard offsets in svmc_simd_amd64.s — keep in sync.
+var svmcSIMDTab struct {
+	mask32   [4]uint64     // +0    0x00000000FFFFFFFF
+	magicHi  [4]uint64     // +32   exponent bits placing hi21 at 2³²
+	magicLo  [4]uint64     // +64   exponent bits placing lo32 at 2⁰
+	magicSub [4]float64    // +96   2⁸⁴ + 2⁵²
+	scale    [4]float64    // +128  2⁻⁵³
+	half     [4]float64    // +160  0.5
+	quarter  [4]float64    // +192  0.25
+	absMask  [4]uint64     // +224  0x7FFFFFFFFFFFFFFF
+	signBit  [4]uint64     // +256  0x8000000000000000
+	sinC     [7][4]float64 // +288
+	cosC     [8][4]float64 // +512
+	expStep  [4]float64    // +768  expGridStep
+	expCap   [4]uint64     // +800  expGridMax (as int64)
+}
+
+func init() {
+	fill := func(dst *[4]uint64, v uint64) { dst[0], dst[1], dst[2], dst[3] = v, v, v, v }
+	fillF := func(dst *[4]float64, v float64) { dst[0], dst[1], dst[2], dst[3] = v, v, v, v }
+	fill(&svmcSIMDTab.mask32, 0x00000000FFFFFFFF)
+	fill(&svmcSIMDTab.magicHi, 0x4530000000000000)
+	fill(&svmcSIMDTab.magicLo, 0x4330000000000000)
+	fillF(&svmcSIMDTab.magicSub, 0x1p84+0x1p52)
+	fillF(&svmcSIMDTab.scale, 0x1p-53)
+	fillF(&svmcSIMDTab.half, 0.5)
+	fillF(&svmcSIMDTab.quarter, 0.25)
+	fill(&svmcSIMDTab.absMask, 0x7FFFFFFFFFFFFFFF)
+	fill(&svmcSIMDTab.signBit, 0x8000000000000000)
+	for k := 0; k < 7; k++ {
+		fillF(&svmcSIMDTab.sinC[k], sinPiCoef[k])
+	}
+	for k := 0; k < 8; k++ {
+		fillF(&svmcSIMDTab.cosC[k], cosPiCoef[k])
+	}
+	fillF(&svmcSIMDTab.expStep, expGridStep)
+	fill(&svmcSIMDTab.expCap, expGridMax)
+	// The u64→f64 magic-number identity the conversion rests on, checked
+	// once at startup so a miscompiled constant can never ship silently.
+	if v := uint64(1)<<52 | 12345; float64(v) != (math.Float64frombits(0x4530000000000000|v>>32)-(0x1p84+0x1p52))+math.Float64frombits(0x4330000000000000|v&0xFFFFFFFF) {
+		panic("annealer: SIMD u64→f64 magic constants are wrong")
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package annealer
+
+// Non-amd64 builds take the pure-Go staged kernel; hasBatchSIMD gates
+// every call site, so the stub below is unreachable.
+var hasBatchSIMD = false
+
+func svmcStepx8(a *svmcStepArgs) bool {
+	panic("annealer: svmcStepx8 without SIMD support")
+}

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"text/tabwriter"
+
+	"repro/internal/annealer"
 )
 
 // DeviceStats aggregates one device's plan-phase accounting.
@@ -47,6 +49,9 @@ type Report struct {
 	P99LatencyMicros  float64 `json:"p99_latency_us"`
 	P99QueueMicros    float64 `json:"p99_queue_us"`
 	DeadlineMissRate  float64 `json:"deadline_miss_rate"`
+	// PrepCache reports the prepared-problem cache's warm-pass counters
+	// (all zero when Config.PrepCacheSize < 0 disabled it).
+	PrepCache annealer.PrepCacheStats `json:"prep_cache"`
 
 	Devices []DeviceStats `json:"devices"`
 	Streams []StreamStats `json:"streams"`
@@ -77,6 +82,7 @@ func (pl *planner) report() Report {
 		Batches: len(pl.batches),
 	}
 	rep.MakespanMicros = pl.makespan()
+	rep.PrepCache = pl.prepStats
 
 	var latencies, queues []float64
 	perStream := map[int]*StreamStats{}

@@ -43,6 +43,63 @@ func (is *Ising) Clone() *Ising {
 	return out
 }
 
+// ContentHash returns a 64-bit FNV-1a digest of the model's full
+// content — size, fields, adjacency (in stored order), offset — with
+// floats hashed by their IEEE-754 bit patterns. Equal-content models
+// hash equal; the converse is probabilistic, so a cache keyed on the
+// hash must verify candidate hits with Equal before trusting them.
+func (is *Ising) ContentHash() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(x uint64) {
+		for k := 0; k < 8; k++ {
+			h ^= x & 0xFF
+			h *= prime
+			x >>= 8
+		}
+	}
+	mix(uint64(is.N))
+	for _, v := range is.H {
+		mix(math.Float64bits(v))
+	}
+	for _, adj := range is.Adj {
+		mix(uint64(len(adj)))
+		for _, c := range adj {
+			mix(uint64(c.To))
+			mix(math.Float64bits(c.J))
+		}
+	}
+	mix(math.Float64bits(is.Offset))
+	return h
+}
+
+// Equal reports whether two models have identical content: same size,
+// same field and offset bit patterns, and the same adjacency lists in
+// the same stored order. It is the exactness companion to ContentHash —
+// Equal models produce bit-identical anneals.
+func (is *Ising) Equal(other *Ising) bool {
+	if is.N != other.N || math.Float64bits(is.Offset) != math.Float64bits(other.Offset) {
+		return false
+	}
+	for i, v := range is.H {
+		if math.Float64bits(v) != math.Float64bits(other.H[i]) {
+			return false
+		}
+	}
+	for i, adj := range is.Adj {
+		oadj := other.Adj[i]
+		if len(adj) != len(oadj) {
+			return false
+		}
+		for k, c := range adj {
+			if c.To != oadj[k].To || math.Float64bits(c.J) != math.Float64bits(oadj[k].J) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Coupling returns J_ij (0 when absent). i and j order does not matter.
 func (is *Ising) Coupling(i, j int) float64 {
 	for _, c := range is.Adj[i] {
