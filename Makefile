@@ -7,9 +7,9 @@ GO ?= go
 # tighter cap than the local default so the leg stays inside its slot.
 VALIDATE_MAX_READS ?= 30000
 
-.PHONY: check vet build test race race-fleet race-cran fuzz-smoke slo fmt validate update-golden cover
+.PHONY: check vet build test race race-fleet race-cran race-hybrid fuzz-smoke slo fmt validate update-golden cover
 
-check: vet build test race race-fleet race-cran fuzz-smoke slo
+check: vet build test race race-fleet race-cran race-hybrid fuzz-smoke slo
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +32,12 @@ race-fleet:
 # telemetry merge, and determinism battery under the race detector.
 race-cran:
 	$(GO) test -race -count=1 ./internal/cran/
+
+# Heterogeneous-backend stress: concurrent mixed-backend Serves with
+# hybrid routing, mid-flight classical-backend death, cancellation, and
+# the mixed-pool determinism battery — all under the race detector.
+race-hybrid:
+	$(GO) test -race -count=1 -run 'Hybrid|Hetero|Backend|Route' ./internal/fleet/
 
 # Run every fuzz target's seed corpus (no open-ended fuzzing): catches
 # regressions on the known-interesting inputs in CI time.

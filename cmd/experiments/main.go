@@ -58,7 +58,7 @@ func main() {
 	log.RegisterVerbosity()
 	tel := cli.RegisterTelemetry()
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 2|3|4|6|7|8|headline|ablation-*|ber|hardness|qaoa|capacity|availability|fleet|cran|cran-slo|all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 2|3|4|6|7|8|headline|ablation-*|ber|hardness|qaoa|capacity|availability|fleet|hybrid|cran|cran-slo|all")
 		scale     = flag.String("scale", "quick", "effort: quick|full")
 		out       = flag.String("out", "", "directory for per-figure output files (default stdout)")
 		seed      = flag.Uint64("seed", 0, "override experiment seed (0 = default)")
@@ -69,7 +69,7 @@ func main() {
 		checkGolden  = flag.Bool("check-golden", false, "compare figure metrics against the committed golden baselines")
 		updateGolden = flag.Bool("update-golden", false, "rewrite the golden baselines (explicit re-baselining only)")
 		goldenDir    = flag.String("golden-dir", filepath.Join("results", "golden"), "directory holding the golden baseline JSON files")
-		inject       = flag.String("validate-inject", "", "deliberate regression for harness self-tests: ra-degraded|reads-slashed|fleet-serial|cran-single-shard")
+		inject       = flag.String("validate-inject", "", "deliberate regression for harness self-tests: ra-degraded|reads-slashed|fleet-serial|cran-single-shard|hybrid-routing-off")
 		maxReads     = flag.Int("validate-max-reads", 0, "per-claim anneal-read budget for -validate (0 = default)")
 		driftOut     = flag.String("drift-report", "", "file for the machine-readable drift report JSON from -check-golden")
 	)
@@ -109,7 +109,7 @@ func main() {
 
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {
-		figs = []string{"2", "3", "4", "6", "7", "8", "headline", "ablation-modules", "ablation-device", "ablation-gsorder", "ber", "hardness", "qaoa", "capacity", "availability", "fleet", "cran", "cran-slo"}
+		figs = []string{"2", "3", "4", "6", "7", "8", "headline", "ablation-modules", "ablation-device", "ablation-gsorder", "ber", "hardness", "qaoa", "capacity", "availability", "fleet", "hybrid", "cran", "cran-slo"}
 	}
 	for _, f := range figs {
 		if err := runFigure(strings.TrimSpace(f), cfg, *out, *benchJSON, log); err != nil {
@@ -209,6 +209,8 @@ func runFigure(fig string, cfg experiments.Config, outDir, benchDir string, log 
 			return err
 		}
 		res, err = experiments.RunFleetScaling(cfg, fleetDevices, pol)
+	case "hybrid":
+		res, err = experiments.RunHybrid(cfg)
 	case "cran":
 		var pol cran.Placement
 		pol, err = cran.ParsePlacement(cranPlacement)

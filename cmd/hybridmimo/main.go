@@ -14,6 +14,11 @@
 //
 //	hybridmimo -users 8 -solver gs+ra -fleet-devices 4 -slo-report slo.txt
 //
+// Mixed-backend pools spell out each worker's kind and can route by
+// instance hardness and deadline slack:
+//
+//	hybridmimo -users 8 -fleet-backends qpu,qpu,pt,sa -fleet-route hybrid
+//
 // Solvers: ml, zf, mmse, sd, kbest, fcsd, gs, sa, tabu, pt (classical);
 // fa, fr, gs+ra, zf+ra, random+ra, fa+descent, co, decomp, persist
 // (annealer-based).
@@ -62,8 +67,10 @@ func main() {
 		faultDrift   = flag.Float64("fault-drift", 0, "per-read calibration-drift probability")
 		fallback     = flag.Bool("fallback", false, "answer with the classical candidate when the quantum stage faults (gs+ra/zf+ra/random+ra)")
 		probe        = flag.Bool("probe", false, "record sweep-level engine observations into -trace-out/-metrics-out")
-		fleetDevices = flag.Int("fleet-devices", 0, "serve the instance through a simulated multi-QPU fleet of this size (0 = direct solve)")
-		fleetPolicy  = flag.String("fleet-policy", "least-loaded", "fleet scheduling policy: least-loaded|round-robin|edf")
+		fleetDevices  = flag.Int("fleet-devices", 0, "serve the instance through a simulated multi-QPU fleet of this size (0 = direct solve)")
+		fleetPolicy   = flag.String("fleet-policy", "least-loaded", "fleet scheduling policy: least-loaded|round-robin|edf")
+		fleetBackends = flag.String("fleet-backends", "", "serve through an explicit mixed-backend pool, e.g. qpu,qpu,pt,sa (overrides -fleet-devices)")
+		fleetRoute    = flag.String("fleet-route", "any", "fleet routing policy: any|hybrid (hardness/deadline-aware)")
 		cranShards   = flag.Int("cran-shards", 0, "serve a generated city workload through a sharded C-RAN tier of this many shards (4 QPUs each; 0 = off)")
 		cranCells    = flag.Int("cran-cells", 12, "cell count for the -cran-shards demo workload")
 		cranPlace    = flag.String("cran-placement", "hash", "C-RAN cell-placement policy: hash|load-aware")
@@ -127,8 +134,8 @@ func main() {
 		return
 	}
 
-	if *fleetDevices > 0 {
-		if err := serveFleet(inst, *fleetDevices, *fleetPolicy, *reads, *seed, tel, r); err != nil {
+	if *fleetDevices > 0 || *fleetBackends != "" {
+		if err := serveFleet(inst, *fleetDevices, *fleetBackends, *fleetPolicy, *fleetRoute, *reads, *seed, tel, r); err != nil {
 			log.Fatalf("fleet: %v", err)
 		}
 		if err := tel.Flush(log); err != nil {
@@ -181,10 +188,20 @@ func main() {
 // use is replayed as several concurrent detection streams against a
 // heterogeneous simulated fleet, and the scheduler's report (throughput,
 // batching, per-device utilization) is printed instead of a single solve.
-func serveFleet(inst *instance.Instance, devices int, policy string, reads int, seed uint64, tel *cli.Telemetry, r *rng.Source) error {
+func serveFleet(inst *instance.Instance, devices int, backends, policy, route string, reads int, seed uint64, tel *cli.Telemetry, r *rng.Source) error {
 	pol, err := fleet.ParsePolicy(policy)
 	if err != nil {
 		return err
+	}
+	rt, err := fleet.ParseRoutePolicy(route)
+	if err != nil {
+		return err
+	}
+	devs := fleet.DefaultDevices(devices)
+	if backends != "" {
+		if devs, err = fleet.ParseBackends(backends); err != nil {
+			return err
+		}
 	}
 	const streams, perStream = 4, 4
 	var reqs []fleet.Request
@@ -203,8 +220,9 @@ func serveFleet(inst *instance.Instance, devices int, policy string, reads int, 
 		}
 	}
 	out, err := fleet.Serve(context.Background(), fleet.Config{
-		Devices:  fleet.DefaultDevices(devices),
+		Devices:  devs,
 		Policy:   pol,
+		Route:    rt,
 		NumReads: reads,
 		Seed:     seed,
 		Trace:    tel.Tracer,
@@ -213,7 +231,7 @@ func serveFleet(inst *instance.Instance, devices int, policy string, reads int, 
 	if err != nil {
 		return err
 	}
-	fmt.Printf("fleet: %d devices serving %d streams × %d frames\n", devices, streams, perStream)
+	fmt.Printf("fleet: %d devices serving %d streams × %d frames\n", len(devs), streams, perStream)
 	bySource := map[string]int{}
 	for _, o := range out.Outcomes {
 		bySource[o.Source.String()]++

@@ -1,0 +1,168 @@
+package annealer
+
+import (
+	"testing"
+
+	"repro/internal/qubo"
+	"repro/internal/rng"
+)
+
+// TestLockstepScalarMatchesSIMD pins the pure-Go staged kernel against
+// whatever path the host CPU takes by default: with the SIMD gate forced
+// off, the lockstep batch must still reproduce the sequential reference
+// bit for bit. On AVX2 hosts this exercises the scalar stage-1 kernel the
+// SIMD path shadows; elsewhere it is a plain re-run of the equivalence
+// property.
+func TestLockstepScalarMatchesSIMD(t *testing.T) {
+	saved := hasBatchSIMD
+	hasBatchSIMD = false
+	defer func() { hasBatchSIMD = saved }()
+
+	prof := DWave2000QProfile()
+	r := rng.New(0x5ca1a)
+	sc, err := Forward(1, 0.41, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{4, 17} {
+		for _, reads := range []int{3, 9} {
+			is := randomIsing(t, r, n, 0.5)
+			pr := qubo.NewCSR(is)
+			pr.Normalize()
+			seed := r.Uint64()
+			seqOuts, seqRngs := sequentialGroup(t, SVMC{}, sc, prof, 50, pr, nil, reads, seed)
+			batchOuts, batchRngs := lockstepGroup(t, SVMC{}, sc, prof, 50, pr, nil, reads, seed)
+			assertGroupsEqual(t, "scalar-svmc", seqOuts, batchOuts, seqRngs, batchRngs)
+		}
+	}
+}
+
+// TestScalarScoreMatchesStage1 pins the scalar replay scorer (the Lemire
+// rejection fallback of the SIMD chunk loop) to the plain staged kernel:
+// on the same scratch state both must produce identical proposal draws,
+// trig, and advance the lane RNGs identically — the scorer only adds the
+// accept/exp verdict masks.
+func TestScalarScoreMatchesStage1(t *testing.T) {
+	if !hasBatchSIMD {
+		t.Skip("no SIMD batch path on this host")
+	}
+	prof := DWave2000QProfile()
+	r := rng.New(0xbeef)
+	is := randomIsing(t, r, 9, 0.6)
+	pr := qubo.NewCSR(is)
+	pr.Normalize()
+	sc, err := Forward(1, 0.41, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the SIMD gate off for one group and on for another with the
+	// same seed: the verdict replay path and the staged kernel must agree
+	// on every read's output and final RNG state.
+	seed := r.Uint64()
+	simdOuts, simdRngs := lockstepGroup(t, SVMC{}, sc, prof, 50, pr, nil, 8, seed)
+	hasBatchSIMD = false
+	scalarOuts, scalarRngs := lockstepGroup(t, SVMC{}, sc, prof, 50, pr, nil, 8, seed)
+	hasBatchSIMD = true
+	assertGroupsEqual(t, "simd-vs-scalar", simdOuts, scalarOuts, simdRngs, scalarRngs)
+}
+
+// TestScalarScoreReplay drives the Lemire-rejection replay scorer
+// directly (the SIMD path reaches it with probability ~n/2⁶⁴, so no
+// workload covers it naturally): replaying from identical scratch states
+// must be bit-deterministic, the accept/exp masks must be disjoint and
+// consistent with the materialized dE values, and downhill proposals must
+// always accept.
+func TestScalarScoreReplay(t *testing.T) {
+	const n, reads = 5, 8
+	build := func() *svmcBatchScratch {
+		st := new(svmcBatchScratch)
+		st.ensure(reads, n)
+		r := rng.New(0x5c0e)
+		for j := 0; j < reads; j++ {
+			st.rs0[j], st.rs1[j], st.rs2[j], st.rs3[j] = r.Uint64()|1, r.Uint64(), r.Uint64(), r.Uint64()
+			st.lanoff[j] = uint64(3 * n * j)
+			for i := 0; i < n; i++ {
+				sn, cs := sinCosPi(r.Float64())
+				st.rot[3*(n*j+i)] = cs
+				st.rot[3*(n*j+i)+1] = sn
+				st.rot[3*(n*j+i)+2] = r.NormFloat64()
+			}
+		}
+		return st
+	}
+	nb := uint64(n)
+	negnb := lemireThreshold(n)
+	a, b := build(), build()
+	amA, emA := svmcScoreScalar(a, 0, nb, negnb, a.rot, 0.8, 1.2, 3)
+	amB, emB := svmcScoreScalar(b, 0, nb, negnb, b.rot, 0.8, 1.2, 3)
+	if amA != amB || emA != emB {
+		t.Fatalf("replay not deterministic: masks %x/%x vs %x/%x", amA, emA, amB, emB)
+	}
+	if amA&emA != 0 {
+		t.Fatalf("accept and exp masks overlap: %x & %x", amA, emA)
+	}
+	for j := 0; j < reads; j++ {
+		if a.dE[j] != b.dE[j] {
+			t.Fatalf("lane %d dE differs across replays", j)
+		}
+		if a.rs0[j] != b.rs0[j] || a.rs3[j] != b.rs3[j] {
+			t.Fatalf("lane %d RNG state differs across replays", j)
+		}
+		bit := uint32(1) << uint(j)
+		if a.dE[j] <= 0 && amA&bit == 0 {
+			t.Fatalf("lane %d: downhill proposal (dE=%g) not accepted", j, a.dE[j])
+		}
+		if a.dE[j] <= 0 && emA&bit != 0 {
+			t.Fatalf("lane %d: downhill proposal marked exp-undecided", j)
+		}
+		if int(a.idx[j]) >= n {
+			t.Fatalf("lane %d proposed spin %d out of range", j, a.idx[j])
+		}
+	}
+}
+
+// TestLeaseAccessors covers the read-only lease surface the fleet
+// dispatcher consumes.
+func TestLeaseAccessors(t *testing.T) {
+	sc, err := Forward(1, 0.41, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm := FaultModel{ProgrammingFailureRate: 0.5, ReadTimeoutRate: 0.25}
+	lease, err := NewLease(Params{Schedule: sc, NumReads: 4, SweepsPerMicrosecond: 30, Faults: fm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.Schedule() != sc {
+		t.Fatal("Schedule() did not return the prepared schedule")
+	}
+	if lease.Embedded() {
+		t.Fatal("logical lease reports embedded")
+	}
+	if got := lease.Faults(); got != fm {
+		t.Fatalf("Faults() = %+v, want %+v", got, fm)
+	}
+
+	stripped := fm.WithoutProgrammingFailures()
+	if stripped.ProgrammingFailureRate != 0 {
+		t.Fatal("WithoutProgrammingFailures kept the programming class")
+	}
+	if stripped.ReadTimeoutRate != fm.ReadTimeoutRate {
+		t.Fatal("WithoutProgrammingFailures dropped a per-read class")
+	}
+
+	r := rng.New(1)
+	is := randomIsing(t, r, 6, 0.5)
+	prep, err := lease.PrepareProblem(is)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prep.Problem().Equal(is) {
+		t.Fatal("Problem() snapshot does not match the prepared problem")
+	}
+	// The snapshot is a deep copy: mutating the original must not leak in.
+	is.H[0] += 1
+	if prep.Problem().Equal(is) {
+		t.Fatal("Problem() snapshot aliases the caller's model")
+	}
+}

@@ -202,6 +202,10 @@ const (
 	// AnswerClassicalFallback: the quantum stage failed and the classical
 	// candidate was used — quality degrades, availability doesn't.
 	AnswerClassicalFallback
+	// AnswerClassicalSolver: a first-class classical backend (simulated
+	// annealing, parallel tempering, QAOA statevector) served the frame by
+	// design — a routing decision, not a degradation.
+	AnswerClassicalSolver
 )
 
 // String names the source.
@@ -213,6 +217,8 @@ func (s AnswerSource) String() string {
 		return "classical-candidate"
 	case AnswerClassicalFallback:
 		return "classical-fallback"
+	case AnswerClassicalSolver:
+		return "classical-solver"
 	}
 	return fmt.Sprintf("AnswerSource(%d)", int(s))
 }

@@ -1,0 +1,91 @@
+package cran
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/instance"
+	"repro/internal/modulation"
+)
+
+// TestHybridShards serves a tier whose shards mix QPU and classical
+// backends under hardness routing: the run must stay deterministic, both
+// backend classes must serve frames, and per-backend accounting must
+// surface in each shard's fleet report without any cran-level change.
+func TestHybridShards(t *testing.T) {
+	hard, err := instance.Synthesize(instance.Spec{Users: 8, Scheme: modulation.QAM16, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	easy := testProblems(t)
+	var reqs []Request
+	for c := 0; c < 4; c++ {
+		for q := 0; q < 3; q++ {
+			p := hard.Reduction.Ising
+			if c%2 == 0 {
+				p = easy[(c+q)%len(easy)]
+			}
+			init := make([]int8, p.N)
+			for i := range init {
+				init[i] = 1
+			}
+			reqs = append(reqs, Request{
+				Cell: c, UE: 0, Seq: q,
+				Arrival:      float64(q) * 300,
+				Problem:      p,
+				InitialState: init,
+			})
+		}
+	}
+	run := func() *Result {
+		res, err := Serve(context.Background(), Config{
+			Shards: [][]fleet.Device{fleet.HybridDevices(1, 1, 0), fleet.HybridDevices(1, 0, 1)},
+			Fleet:  fleet.Config{NumReads: 4, Route: fleet.RouteHybrid},
+			Seed:   7,
+		}, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Outcomes, b.Outcomes) {
+		t.Fatal("hybrid tier outcomes not deterministic across identical runs")
+	}
+	if !reflect.DeepEqual(a.ShardReports, b.ShardReports) {
+		t.Fatal("hybrid tier shard reports not deterministic across identical runs")
+	}
+
+	classical, quantum := 0, 0
+	for _, o := range a.Outcomes {
+		if o.Frame.Shed {
+			continue
+		}
+		if o.Frame.Source == core.AnswerClassicalSolver {
+			classical++
+		} else {
+			quantum++
+		}
+	}
+	if classical == 0 || quantum == 0 {
+		t.Fatalf("hybrid shards should serve both classes, got %d classical / %d quantum", classical, quantum)
+	}
+
+	seen := map[string]bool{}
+	for _, fr := range a.ShardReports {
+		for _, bs := range fr.Backends {
+			if bs.Frames > 0 {
+				seen[bs.Backend] = true
+			}
+		}
+	}
+	if !seen[fleet.BackendQPUSim.String()] {
+		t.Fatalf("no QPU frames in shard backend stats: %v", seen)
+	}
+	if !seen[fleet.BackendParallelTempering.String()] && !seen[fleet.BackendSimulatedAnnealing.String()] {
+		t.Fatalf("no classical frames in shard backend stats: %v", seen)
+	}
+}

@@ -41,6 +41,7 @@ func TestWriteTableGoldens(t *testing.T) {
 		{"fig8", func(cfg Config) (tabler, error) { return tableFor(Figure8(cfg)) }},
 		{"fleet", func(cfg Config) (tabler, error) { return tableFor(RunFleetScaling(cfg, 0, 0)) }},
 		{"cran", func(cfg Config) (tabler, error) { return tableFor(RunCRAN(cfg, 0, 0, cran.PlacementHash)) }},
+		{"hybrid", func(cfg Config) (tabler, error) { return tableFor(RunHybrid(cfg)) }},
 		{"cran-slo", func(cfg Config) (tabler, error) { return tableFor(RunCRANSLO(cfg, 0, 0, cran.PlacementHash)) }},
 		{"pipeline", func(cfg Config) (tabler, error) { return tableFor(PipelineFigure(cfg, 0)) }},
 	}

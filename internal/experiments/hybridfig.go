@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/instance"
+	"repro/internal/modulation"
+)
+
+// HybridRow is one (pool, load) cell of the heterogeneous-fleet capacity
+// study.
+type HybridRow struct {
+	Pool             string  `json:"pool"`
+	Load             float64 `json:"load"`
+	Served           int     `json:"served"`
+	Shed             int     `json:"shed"`
+	DeadlineHitRate  float64 `json:"deadline_hit_rate"`
+	ThroughputPerSec float64 `json:"throughput_fps"`
+	P99LatencyMicros float64 `json:"p99_latency_us"`
+	RouteFallbacks   int     `json:"route_fallbacks,omitempty"`
+	ClassicalFrames  int     `json:"classical_frames"`
+}
+
+// HybridResult is the heterogeneous-backend capacity experiment: the
+// same mixed easy/hard deadline workload offered at growing load to an
+// all-QPU pool, an all-classical surrogate pool, and a hybrid pool with
+// hardness/deadline-aware routing.
+type HybridResult struct {
+	Streams int         `json:"streams"`
+	Frames  int         `json:"frames"`
+	Reads   int         `json:"reads"`
+	Rows    []HybridRow `json:"rows"`
+}
+
+// Hybrid workload shape: even streams carry easy low-dimension frames
+// whose deadlines sit far below a QPU's programming floor (latency-bound
+// control traffic), odd streams carry the paper's hard 8-user 16-QAM
+// frames with a service-bound deadline. A QPU-only fleet forfeits every
+// easy frame to its programming overhead; a classical-only fleet drowns
+// in the hard frames' Monte-Carlo cost. Routing on hardness and deadline
+// slack is the only way to win both.
+const (
+	hybridStreams      = 8
+	hybridPerStream    = 6
+	hybridEasyDeadline = 5_000.0  // μs — under the 10 ms programming floor
+	hybridHardDeadline = 60_000.0 // μs — tight for a backlogged classical pool
+	hybridBaseInterval = 2_000.0  // μs between one stream's frames at load 1
+)
+
+// HybridReads is the per-frame read count of the hybrid study — exported
+// so the validation gate can account the reads it consumes.
+const HybridReads = 30
+
+// HybridWorkload builds the mixed easy/hard request set at the given
+// load multiplier (arrival intervals shrink as load grows). The workload
+// is a pure function of seed, so baselines and the hybrid pool serve
+// bit-identical requests.
+func HybridWorkload(cfg Config, seed uint64, load float64) ([]fleet.Request, error) {
+	if load <= 0 {
+		load = 1
+	}
+	hard, err := instance.Corpus(instance.Spec{Users: 8, Scheme: modulation.QAM16}, seed^0xA1, 4)
+	if err != nil {
+		return nil, err
+	}
+	easy, err := instance.Corpus(instance.Spec{Users: 3, Scheme: modulation.QPSK}, seed^0xB2, 4)
+	if err != nil {
+		return nil, err
+	}
+	gs := core.GreedyModule{}
+	wr := cfg.root().SplitString("hybrid/workload").Split(seed)
+	var reqs []fleet.Request
+	for s := 0; s < hybridStreams; s++ {
+		for q := 0; q < hybridPerStream; q++ {
+			in := hard[(s+q)%len(hard)]
+			deadline := hybridHardDeadline
+			if s%2 == 0 {
+				in = easy[(s+q)%len(easy)]
+				deadline = hybridEasyDeadline
+			}
+			init, err := gs.Initialize(in.Reduction, wr.Split(uint64(s*hybridPerStream+q)))
+			if err != nil {
+				return nil, err
+			}
+			reqs = append(reqs, fleet.Request{
+				Stream: s, Seq: q,
+				Arrival:      float64(q) * hybridBaseInterval / load,
+				Deadline:     deadline,
+				Problem:      in.Reduction.Ising,
+				InitialState: init,
+			})
+		}
+	}
+	return reqs, nil
+}
+
+// HybridPools returns the three contending pools at matched size: four
+// QPUs, four classical workers (2 PT + 2 SA), and a 2+1+1 hybrid.
+func HybridPools() []struct {
+	Name    string
+	Devices []fleet.Device
+	Route   fleet.RoutePolicy
+} {
+	return []struct {
+		Name    string
+		Devices []fleet.Device
+		Route   fleet.RoutePolicy
+	}{
+		{"all-qpu", fleet.DefaultDevices(4), fleet.RouteAny},
+		{"all-classical", fleet.HybridDevices(0, 2, 2), fleet.RouteAny},
+		{"hybrid", fleet.HybridDevices(2, 1, 1), fleet.RouteHybrid},
+	}
+}
+
+// ServeHybridPool serves one request set on one pool and returns the
+// fleet report. The router config is zero for the study itself; the
+// validation harness passes a forced class to simulate routing loss.
+func ServeHybridPool(cfg Config, devices []fleet.Device, route fleet.RoutePolicy, router fleet.RouterConfig, seed uint64, reqs []fleet.Request) (*fleet.Report, error) {
+	out, err := fleet.Serve(context.Background(), fleet.Config{
+		Devices:          devices,
+		Route:            route,
+		Router:           router,
+		NumReads:         HybridReads,
+		BatchMax:         4,
+		StreamQueueBound: 64,
+		Seed:             seed,
+		Trace:            cfg.Trace,
+		Metrics:          cfg.Metrics,
+	}, reqs)
+	if err != nil {
+		return nil, err
+	}
+	return &out.Report, nil
+}
+
+// RunHybrid runs the capacity study: each pool serves the identical
+// workload at load multipliers 1×, 1.5×, and 2×.
+func RunHybrid(cfg Config) (*HybridResult, error) {
+	cfg = cfg.withDefaults()
+	res := &HybridResult{
+		Streams: hybridStreams,
+		Frames:  hybridStreams * hybridPerStream,
+		Reads:   HybridReads,
+	}
+	for _, load := range []float64{1, 1.5, 2} {
+		reqs, err := HybridWorkload(cfg, cfg.Seed^0x4B1D, load)
+		if err != nil {
+			return nil, err
+		}
+		for _, pool := range HybridPools() {
+			rep, err := ServeHybridPool(cfg, pool.Devices, pool.Route, fleet.RouterConfig{}, cfg.Seed, reqs)
+			if err != nil {
+				return nil, err
+			}
+			classical := 0
+			for _, b := range rep.Backends {
+				if b.Backend != fleet.BackendQPUSim.String() {
+					classical += b.Frames
+				}
+			}
+			res.Rows = append(res.Rows, HybridRow{
+				Pool:             pool.Name,
+				Load:             load,
+				Served:           rep.Served,
+				Shed:             rep.Shed,
+				DeadlineHitRate:  1 - rep.DeadlineMissRate,
+				ThroughputPerSec: rep.ThroughputPerSecond,
+				P99LatencyMicros: rep.P99LatencyMicros,
+				RouteFallbacks:   rep.RouteFallbacks,
+				ClassicalFrames:  classical,
+			})
+		}
+	}
+	return res, nil
+}
+
+// WriteTable renders the study.
+func (r *HybridResult) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "# Hybrid fleet capacity: %d streams × %d frames (even: easy %gms deadlines, odd: hard %gms), %d reads\n",
+		hybridStreams, hybridPerStream, hybridEasyDeadline/1000, hybridHardDeadline/1000, r.Reads)
+	writeRow(w, "pool", "load", "served", "shed", "hit_rate", "thru_fps", "p99_lat", "classical")
+	for _, row := range r.Rows {
+		writeRow(w, row.Pool, row.Load, row.Served, row.Shed, row.DeadlineHitRate,
+			row.ThroughputPerSec, row.P99LatencyMicros, row.ClassicalFrames)
+	}
+}

@@ -109,3 +109,82 @@ func BenchmarkFleetServe(b *testing.B) {
 		})
 	}
 }
+
+// benchHybridRequests mixes the reference heavy workload with easy
+// 3-user QPSK streams — the shape hybrid routing exists for.
+func benchHybridRequests(b *testing.B, frames int) []Request {
+	reqs := benchRequests(b, frames/2)
+	var easy []*qubo.Ising
+	for seed := uint64(1); seed <= 4; seed++ {
+		in, err := instance.Synthesize(instance.Spec{Users: 3, Scheme: modulation.QPSK, Seed: seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		easy = append(easy, in.Reduction.Ising)
+	}
+	const streams = 8
+	for s := 0; s < streams; s++ {
+		for q := 0; q < frames/2/streams; q++ {
+			p := easy[(s+q)%len(easy)]
+			init := make([]int8, p.N)
+			for i := range init {
+				init[i] = 1
+			}
+			reqs = append(reqs, Request{
+				Stream: 100 + s, Seq: q,
+				Arrival:      float64(q) * 100,
+				Deadline:     4_000,
+				Problem:      p,
+				InitialState: init,
+			})
+		}
+	}
+	return reqs
+}
+
+// BenchmarkFleetServeHybrid serves the mixed workload on a hybrid pool
+// (2 QPU + 1 PT + 1 SA) with hardness/deadline routing — the
+// heterogeneous counterpart of BenchmarkFleetServe for the benchdiff job.
+func BenchmarkFleetServeHybrid(b *testing.B) {
+	reqs := benchHybridRequests(b, 48)
+	cfg := Config{
+		Devices:          HybridDevices(2, 1, 1),
+		Route:            RouteHybrid,
+		NumReads:         60,
+		BatchMax:         4,
+		StreamQueueBound: 64,
+		Seed:             1,
+	}
+	var last *Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Serve(context.Background(), cfg, reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	rep := last.Report
+	b.ReportMetric(rep.ThroughputPerSecond, "frames/sim-s")
+	b.ReportMetric(rep.P99QueueMicros, "p99-queue-µs")
+	if dir := os.Getenv(telemetry.BenchJSONDirEnv); dir != "" {
+		cfgRec := benchFleetConfig{
+			Devices: len(cfg.Devices), Frames: len(reqs), Reads: cfg.NumReads,
+			FramesPerSecond: rep.ThroughputPerSecond,
+			P99QueueMicros:  rep.P99QueueMicros, P99LatencyMicros: rep.P99LatencyMicros,
+			MeanBatchSize: rep.MeanBatchSize,
+		}
+		rec := telemetry.BenchRecord{
+			Name:       "FleetServeHybrid",
+			NsPerOp:    float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+			Iterations: b.N,
+			Config:     cfgRec,
+			Series: fmt.Sprintf("devices=%d frames=%d fps=%.1f p99_queue_us=%.0f p99_latency_us=%.0f batch=%.2f",
+				len(cfg.Devices), len(reqs), rep.ThroughputPerSecond, rep.P99QueueMicros, rep.P99LatencyMicros, rep.MeanBatchSize),
+		}
+		if err := telemetry.WriteBenchJSON(dir, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

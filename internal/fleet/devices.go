@@ -1,6 +1,10 @@
 package fleet
 
-import "repro/internal/annealer"
+import (
+	"strings"
+
+	"repro/internal/annealer"
+)
 
 // DefaultDevices builds a heterogeneous pool of n simulated 2000Q-class
 // QPUs, the mix the experiments and CLIs serve from: devices alternate
@@ -33,4 +37,49 @@ func DefaultDevices(n int) []Device {
 		devs[i] = d
 	}
 	return devs
+}
+
+// HybridDevices builds a mixed pool: nQPU simulated 2000Q-class QPUs (as
+// DefaultDevices, so the quantum half of a hybrid fleet is comparable to
+// the homogeneous baselines) followed by nPT parallel-tempering and nSA
+// simulated-annealing classical workers with default parameters.
+func HybridDevices(nQPU, nPT, nSA int) []Device {
+	devs := DefaultDevices(nQPU)
+	for i := 0; i < nPT; i++ {
+		devs = append(devs, Device{Backend: BackendParallelTempering})
+	}
+	for i := 0; i < nSA; i++ {
+		devs = append(devs, Device{Backend: BackendSimulatedAnnealing})
+	}
+	return devs
+}
+
+// ParseBackends builds a pool from a comma-separated backend list (e.g.
+// "qpu,qpu,pt,sa"). QPU entries take the DefaultDevices hardware spread,
+// positioned by their index in the list; classical entries take default
+// parameters.
+func ParseBackends(spec string) ([]Device, error) {
+	parts := strings.Split(spec, ",")
+	nQPU := 0
+	for _, p := range parts {
+		if k, err := ParseBackendKind(strings.TrimSpace(p)); err == nil && k == BackendQPUSim {
+			nQPU++
+		}
+	}
+	qpus := DefaultDevices(nQPU)
+	devs := make([]Device, 0, len(parts))
+	qi := 0
+	for _, p := range parts {
+		k, err := ParseBackendKind(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		if k == BackendQPUSim {
+			devs = append(devs, qpus[qi])
+			qi++
+			continue
+		}
+		devs = append(devs, Device{Backend: k})
+	}
+	return devs, nil
 }

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/annealer"
 	"repro/internal/core"
+	"repro/internal/qaoa"
 	"repro/internal/qubo"
 	"repro/internal/rng"
 	"repro/internal/telemetry"
@@ -48,6 +49,9 @@ const (
 	ShedRetriesExhausted = "retries-exhausted"
 	// ShedDeviceUnavailable: no device will ever be free again.
 	ShedDeviceUnavailable = "device-unavailable"
+	// ShedNoCompatibleBackend: no live device can serve the frame at all
+	// (e.g. a problem too large for every remaining backend).
+	ShedNoCompatibleBackend = "no-compatible-backend"
 )
 
 // classicalFallbackPerSpin is the modelled μs-per-spin cost of answering a
@@ -78,9 +82,16 @@ type Request struct {
 	NumReads int
 }
 
-// Device is one simulated QPU in the pool. The zero value is a valid
-// logical device (no embedding, no programming/readout overheads).
+// Device is one backend in the pool. The zero value is a valid logical
+// QPU-sim device (no embedding, no programming/readout overheads).
 type Device struct {
+	// Backend selects the solver kind (default BackendQPUSim). Classical
+	// kinds ignore the QPU/Engine/Profile/ICE fields and take their timing
+	// and quality models from Classical instead.
+	Backend BackendKind
+	// Classical tunes a classical backend (zero value: defaults). Ignored
+	// for BackendQPUSim.
+	Classical ClassicalParams
 	// QPU, when set, runs frames through Chimera embedding and charges
 	// its programming/readout overheads in the timing model.
 	QPU *annealer.QPU
@@ -129,6 +140,13 @@ type Config struct {
 	Devices []Device
 	// Policy selects the dispatch policy (default PolicyLeastLoaded).
 	Policy Policy
+	// Route selects how frames are assigned backend classes (default
+	// RouteAny: any frame may run on any compatible device). RouteHybrid
+	// scores hardness and deadline slack per frame.
+	Route RoutePolicy
+	// Router tunes RouteHybrid (zero value: defaults). Router.ForceClass
+	// pins every frame to one class — the routing-off failure injection.
+	Router RouterConfig
 	// Sp, Tp are the default reverse-anneal switch point and pause μs
 	// (defaults 0.45, 1 — the paper's working point).
 	Sp, Tp float64
@@ -196,6 +214,10 @@ type Outcome struct {
 	// Device and Batch locate the serving batch (−1 when shed).
 	Device int `json:"device"`
 	Batch  int `json:"batch"`
+	// Backend names the serving device's backend kind. Set only for
+	// frames served by heterogeneous pools — homogeneous QPU fleets and
+	// shed frames leave it empty.
+	Backend string `json:"backend,omitempty"`
 	// Attempts is the number of dispatch attempts consumed (≥ 1 unless
 	// shed before ever dispatching).
 	Attempts int `json:"attempts"`
@@ -285,6 +307,18 @@ func (cfg Config) withDefaults() (Config, error) {
 	if !cfg.Policy.valid() {
 		return cfg, fmt.Errorf("fleet: unknown policy %d", int(cfg.Policy))
 	}
+	if !cfg.Route.valid() {
+		return cfg, fmt.Errorf("fleet: unknown route policy %d", int(cfg.Route))
+	}
+	if math.IsNaN(cfg.Router.HardnessThreshold) || cfg.Router.HardnessThreshold < 0 {
+		return cfg, fmt.Errorf("fleet: bad hardness threshold %g", cfg.Router.HardnessThreshold)
+	}
+	if math.IsNaN(cfg.Router.SlackFactor) || cfg.Router.SlackFactor < 0 {
+		return cfg, fmt.Errorf("fleet: bad slack factor %g", cfg.Router.SlackFactor)
+	}
+	if c := cfg.Router.ForceClass; c < ClassAny || c > ClassClassical {
+		return cfg, fmt.Errorf("fleet: unknown forced class %d", int(c))
+	}
 	if cfg.Sp == 0 {
 		cfg.Sp = 0.45
 	}
@@ -346,7 +380,19 @@ func (cfg Config) withDefaults() (Config, error) {
 			}
 		}
 	}
+	// Normalizing per-device backend params must not mutate the caller's
+	// slice (Config is passed by value, the slice header is shared).
+	cfg.Devices = append([]Device(nil), cfg.Devices...)
 	for i, d := range cfg.Devices {
+		if !d.Backend.valid() {
+			return cfg, fmt.Errorf("fleet: device %d: unknown backend %d", i, int(d.Backend))
+		}
+		if d.Backend.Classical() {
+			cfg.Devices[i].Classical = d.Classical.withDefaults()
+			if err := cfg.Devices[i].Classical.validate(); err != nil {
+				return cfg, fmt.Errorf("fleet: device %d: %w", i, err)
+			}
+		}
 		if d.SweepsPerMicrosecond < 0 {
 			return cfg, fmt.Errorf("fleet: device %d: negative sweep rate", i)
 		}
@@ -400,6 +446,11 @@ type frame struct {
 	attempts    int
 	sp, tp      float64
 	reads       int
+	// class is the routing decision (ClassAny unless Config.Route is
+	// hybrid); hardness is the score behind it. rerouteStranded may relax
+	// class back to ClassAny when its devices die.
+	class    BackendClass
+	hardness float64
 }
 
 // plannedBatch is one shared programming cycle fixed by the plan phase.
@@ -470,6 +521,12 @@ type planner struct {
 	prepStats annealer.PrepCacheStats
 
 	retries int
+
+	// hetero marks a pool with classical backends or hybrid routing; every
+	// new heterogeneous code path and telemetry series is gated on it so
+	// homogeneous QPU runs stay byte-identical to earlier releases.
+	hetero         bool
+	routeFallbacks int
 }
 
 type leaseKey struct {
@@ -482,6 +539,12 @@ func newPlanner(cfg Config, reqs []Request) (*planner, error) {
 		cfg:       cfg,
 		schedules: make(map[schedKey]*annealer.Schedule),
 		leases:    make(map[leaseKey]*annealer.Lease),
+	}
+	pl.hetero = cfg.Route != RouteAny
+	for _, d := range cfg.Devices {
+		if d.Backend.Classical() {
+			pl.hetero = true
+		}
 	}
 	// Dense stream indices in ascending stream-id order keep every
 	// policy's tiebreaks independent of request-slice order.
@@ -525,6 +588,11 @@ func newPlanner(cfg Config, reqs []Request) (*planner, error) {
 		f.absDeadline = math.Inf(1)
 		if r.Deadline > 0 {
 			f.absDeadline = r.Arrival + r.Deadline
+		}
+		if cfg.Route == RouteHybrid {
+			dec := cfg.Router.Route(r.Problem, r.Deadline, f.reads)
+			f.class = dec.Class
+			f.hardness = dec.Hardness
 		}
 		if _, err := pl.schedule(schedKey{f.sp, f.tp}); err != nil {
 			return nil, err
@@ -669,6 +737,16 @@ func (pl *planner) admit(fi int) {
 	}
 	pl.queues[f.stream] = append(pl.queues[f.stream], fi)
 	pl.queued++
+	if pl.cfg.Route == RouteHybrid {
+		pl.cfg.Trace.Event("fleet/route", f.req.Arrival, pl.tattrs(telemetry.Attrs{
+			"stream": f.req.Stream, "seq": f.req.Seq,
+			"class": f.class.String(), "hardness": f.hardness,
+		}))
+		if pl.cfg.Metrics != nil {
+			pl.cfg.Metrics.Counter("fleet_routed_total",
+				pl.mlabels(telemetry.Label{Key: "class", Value: f.class.String()})...).Inc()
+		}
+	}
 	if pl.cfg.Metrics != nil {
 		pl.cfg.Metrics.Histogram("fleet_queue_depth", 0, 64, 16, pl.mlabels()...).Observe(float64(pl.queued))
 	}
@@ -726,13 +804,26 @@ func (pl *planner) expireHeads() {
 	}
 }
 
-// pickFrame returns the next frame to serve under the policy, or −1.
-// With forBatch < 0 it seeds a new batch (only streams with nothing in
-// flight are eligible); otherwise it extends batch forBatch with frames
-// matching key — a stream already in THAT batch may contribute its next
-// frame too (same-cycle continuation keeps FIFO intact). contOnly
-// restricts the pick to those continuations.
-func (pl *planner) pickFrame(forBatch int, key schedKey, contOnly bool) int {
+// routable reports whether frame fi may run on device dev: the problem
+// fits the backend (QAOA's statevector cap) and the frame's routing class
+// matches the backend's class. Only consulted for heterogeneous pools —
+// homogeneous QPU fleets skip it entirely.
+func (pl *planner) routable(fi, dev int) bool {
+	d := &pl.cfg.Devices[dev]
+	f := &pl.frames[fi]
+	if d.Backend == BackendQAOA && f.req.Problem.N > qaoa.MaxQubits {
+		return false
+	}
+	return f.class == ClassAny || d.Backend.Class() == f.class
+}
+
+// pickFrame returns the next frame to serve on device dev under the
+// policy, or −1. With forBatch < 0 it seeds a new batch (only streams
+// with nothing in flight are eligible); otherwise it extends batch
+// forBatch with frames matching key — a stream already in THAT batch may
+// contribute its next frame too (same-cycle continuation keeps FIFO
+// intact). contOnly restricts the pick to those continuations.
+func (pl *planner) pickFrame(forBatch int, key schedKey, contOnly bool, dev int) int {
 	eligible := func(s int) int {
 		if len(pl.queues[s]) == 0 {
 			return -1
@@ -750,6 +841,9 @@ func (pl *planner) pickFrame(forBatch int, key schedKey, contOnly bool) int {
 			if (schedKey{f.sp, f.tp}) != key {
 				return -1
 			}
+		}
+		if pl.hetero && !pl.routable(fi, dev) {
+			return -1
 		}
 		return fi
 	}
@@ -837,20 +931,106 @@ func (pl *planner) pickDevice() int {
 	return best
 }
 
+// rerouteStranded relaxes or sheds queued frames whose routing class can
+// no longer be served. Device death is permanent (FailAt is monotone), so
+// a frame with no live class-compatible device either falls back to
+// ClassAny (some live device can still run it — the per-backend fallback
+// rung) or is shed on the no-compatible-backend rung. Heterogeneous pools
+// only; the all-devices-dead case is left to simulate's end walk so the
+// existing device-unavailable accounting is untouched.
+func (pl *planner) rerouteStranded() {
+	anyAlive := false
+	for d := range pl.cfg.Devices {
+		if !pl.deviceDown(d, pl.clock) {
+			anyAlive = true
+			break
+		}
+	}
+	if !anyAlive {
+		return
+	}
+	liveCompatible := func(fi int, respectClass bool) bool {
+		f := &pl.frames[fi]
+		for d := range pl.cfg.Devices {
+			if pl.deviceDown(d, pl.clock) {
+				continue
+			}
+			dd := &pl.cfg.Devices[d]
+			if dd.Backend == BackendQAOA && f.req.Problem.N > qaoa.MaxQubits {
+				continue
+			}
+			if respectClass && f.class != ClassAny && dd.Backend.Class() != f.class {
+				continue
+			}
+			return true
+		}
+		return false
+	}
+	for s := range pl.queues {
+		keep := pl.queues[s][:0]
+		for _, fi := range pl.queues[s] {
+			if liveCompatible(fi, true) {
+				keep = append(keep, fi)
+				continue
+			}
+			f := &pl.frames[fi]
+			if f.class != ClassAny && liveCompatible(fi, false) {
+				pl.cfg.Trace.Event("fleet/route-fallback", pl.clock, pl.tattrs(telemetry.Attrs{
+					"stream": f.req.Stream, "seq": f.req.Seq, "from": f.class.String(),
+				}))
+				if pl.cfg.Metrics != nil {
+					pl.cfg.Metrics.Counter("fleet_route_fallbacks_total",
+						pl.mlabels(telemetry.Label{Key: "from", Value: f.class.String()})...).Inc()
+				}
+				f.class = ClassAny
+				pl.routeFallbacks++
+				keep = append(keep, fi)
+				continue
+			}
+			pl.queued--
+			pl.shed(fi, ShedNoCompatibleBackend, pl.clock)
+		}
+		pl.queues[s] = keep
+	}
+}
+
 // dispatch forms and launches batches while a free device and an eligible
 // frame exist.
 func (pl *planner) dispatch() {
 	for {
 		pl.expireHeads()
+		if pl.hetero {
+			pl.rerouteStranded()
+		}
 		dev := pl.pickDevice()
 		if dev < 0 {
 			return
 		}
-		seed := pl.pickFrame(-1, schedKey{}, false)
-		if seed < 0 {
+		seed := pl.pickFrame(-1, schedKey{}, false, dev)
+		if seed >= 0 {
+			pl.launch(dev, seed)
+			continue
+		}
+		if !pl.hetero {
 			return
 		}
-		pl.launch(dev, seed)
+		// The policy's first-choice device has no routable frame; scan the
+		// remaining free devices in index order so class-restricted work
+		// still drains (the policy ordering only ranks within a class).
+		launched := false
+		for d := range pl.cfg.Devices {
+			if d == dev || pl.busyUntil[d] > pl.clock || pl.deviceDown(d, pl.clock) {
+				continue
+			}
+			if s := pl.pickFrame(-1, schedKey{}, false, d); s >= 0 {
+				pl.launch(d, s)
+				launched = true
+				break
+			}
+		}
+		if !launched {
+			return
+		}
 	}
 }
 
@@ -894,7 +1074,7 @@ func (pl *planner) launch(dev, seed int) {
 	take(seed)
 	cross := 1
 	for len(b.frames) < pl.cfg.BatchMax {
-		fi := pl.pickFrame(id, key, cross >= crossCap)
+		fi := pl.pickFrame(id, key, cross >= crossCap, dev)
 		if fi < 0 {
 			break
 		}
@@ -905,8 +1085,11 @@ func (pl *planner) launch(dev, seed int) {
 	}
 
 	d := pl.cfg.Devices[dev]
+	classical := d.Backend.Classical()
 	var prog, readout float64
-	if d.QPU != nil {
+	if classical {
+		prog = d.Classical.SetupMicros
+	} else if d.QPU != nil {
 		prog, readout = d.QPU.ProgrammingTime, d.QPU.ReadoutTime
 	}
 	sc := pl.schedules[key]
@@ -926,7 +1109,11 @@ func (pl *planner) launch(dev, seed int) {
 	} else {
 		for _, fi := range b.frames {
 			f := &pl.frames[fi]
-			cursor += float64(f.reads) * perRead
+			if classical {
+				cursor += classicalServiceMicros(d.Backend, d.Classical, f.req.Problem, f.reads)
+			} else {
+				cursor += float64(f.reads) * perRead
+			}
 			o := &pl.outcomes[fi]
 			o.Start = b.start
 			o.Finish = cursor
@@ -934,6 +1121,9 @@ func (pl *planner) launch(dev, seed int) {
 			o.Device = dev
 			o.Batch = id
 			o.Attempts = f.attempts
+			if pl.hetero {
+				o.Backend = d.Backend.String()
+			}
 		}
 		b.finish = cursor
 	}
@@ -948,10 +1138,17 @@ func (pl *planner) launch(dev, seed int) {
 	// offline analyzer (cmd/slotool) can attribute each frame's time to
 	// program / batch-wait / anneal / readout without re-deriving the
 	// device model.
-	pl.cfg.Trace.Span("fleet/batch", b.start, b.finish, pl.tattrs(telemetry.Attrs{
+	battrs := telemetry.Attrs{
 		"device": dev, "batch": id, "frames": len(b.frames), "faulted": b.faulted,
 		"prog_us": prog, "anneal_us": sc.Duration(), "readout_us": readout, "reads": batchReads,
-	}))
+	}
+	if classical {
+		// Classical cycles have no anneal schedule: their time is solver
+		// compute, announced by the backend attribute.
+		battrs["anneal_us"] = 0.0
+		battrs["backend"] = d.Backend.String()
+	}
+	pl.cfg.Trace.Span("fleet/batch", b.start, b.finish, pl.tattrs(battrs))
 	if pl.cfg.Metrics != nil {
 		pl.cfg.Metrics.Counter("fleet_batches_total", pl.mlabels()...).Inc()
 		if b.faulted {
@@ -1023,8 +1220,13 @@ func (pl *planner) execute(ctx context.Context) error {
 		}
 	}
 	// Compile every lease up front (deterministic order, fail fast).
+	// Classical backends run without leases — their solvers need no
+	// compiled embedding or schedule.
 	for _, bi := range jobs {
 		b := &pl.batches[bi]
+		if pl.cfg.Devices[b.dev].Backend.Classical() {
+			continue
+		}
 		if _, err := pl.lease(b.dev, b.key); err != nil {
 			return err
 		}
@@ -1040,6 +1242,9 @@ func (pl *planner) execute(ctx context.Context) error {
 		pl.preps = make([]*annealer.Prepared, len(pl.frames))
 		for _, bi := range jobs {
 			b := &pl.batches[bi]
+			if pl.cfg.Devices[b.dev].Backend.Classical() {
+				continue
+			}
 			l := pl.leases[leaseKey{b.dev, b.key}]
 			for _, fi := range b.frames {
 				prep, err := cache.Get(l, pl.frames[fi].req.Problem)
@@ -1091,9 +1296,13 @@ func (pl *planner) execute(ctx context.Context) error {
 	return firstErr
 }
 
-// runBatch anneals one planned batch's frames through the device lease.
+// runBatch anneals one planned batch's frames through the device lease,
+// or hands the batch to its classical solver.
 func (pl *planner) runBatch(bi int) error {
 	b := &pl.batches[bi]
+	if pl.cfg.Devices[b.dev].Backend.Classical() {
+		return pl.runClassicalBatch(bi)
+	}
 	l := pl.leases[leaseKey{b.dev, b.key}]
 	for _, fi := range b.frames {
 		f := &pl.frames[fi]
@@ -1132,6 +1341,53 @@ func (pl *planner) runBatch(bi int) error {
 		pl.annealStats(f, o, initE, res)
 	}
 	return nil
+}
+
+// runClassicalBatch serves one planned batch's frames on a classical
+// backend. The RNG keying is identical to the anneal path — (Seed, stream,
+// seq, attempt), all plan-fixed — so the worker count cannot change any
+// answer here either.
+func (pl *planner) runClassicalBatch(bi int) error {
+	b := &pl.batches[bi]
+	d := pl.cfg.Devices[b.dev]
+	for _, fi := range b.frames {
+		f := &pl.frames[fi]
+		o := &pl.outcomes[fi]
+		key := uint64(f.req.Stream)<<32 | uint64(f.req.Seq)
+		r := rng.New(pl.cfg.Seed).SplitString("fleet/frame").Split(key).Split(uint64(o.Attempts))
+		best, meanE, err := runClassical(d.Backend, d.Classical, f.req.Problem, f.req.InitialState, f.reads, r)
+		if err != nil {
+			return fmt.Errorf("fleet: device %d (%s): %w", b.dev, d.Backend, err)
+		}
+		initE := f.req.Problem.Energy(f.req.InitialState)
+		if initE < best.Energy {
+			o.Source = core.AnswerClassicalCandidate
+			o.Best = qubo.Sample{Spins: append([]int8(nil), f.req.InitialState...), Energy: initE}
+		} else {
+			o.Source = core.AnswerClassicalSolver
+			o.Best = best
+		}
+		pl.classicalStats(f, o, initE, meanE, d.Backend)
+	}
+	return nil
+}
+
+// classicalStats mirrors annealStats for classical backends so the SLO
+// monitor's health scoring sees one uniform quality stream: the same
+// event name and residual fields, chain/fault tallies pinned to zero (a
+// classical solver has no chains to break), plus the backend attribute.
+func (pl *planner) classicalStats(f *frame, o *Outcome, candE, meanE float64, kind BackendKind) {
+	if pl.cfg.Trace == nil {
+		return
+	}
+	pl.cfg.Trace.Event("fleet/anneal-stats", o.Finish, pl.tattrs(telemetry.Attrs{
+		"device": o.Device, "batch": o.Batch,
+		"stream": f.req.Stream, "seq": f.req.Seq,
+		"reads": f.reads, "cand_energy": candE,
+		"survived": f.reads, "mean_energy": meanE, "best_energy": o.Best.Energy,
+		"chain_break_rate": 0.0, "timeouts": 0, "storms": 0, "drifts": 0,
+		"backend": kind.String(),
+	}))
 }
 
 // annealStats publishes one frame's anneal-quality event — the raw
@@ -1203,6 +1459,40 @@ func (pl *planner) finishTelemetry() {
 		}
 		pl.cfg.Metrics.Gauge("fleet_device_utilization",
 			pl.mlabels(telemetry.Label{Key: "device", Value: fmt.Sprint(d)})...).Set(util)
+	}
+	if !pl.hetero {
+		return
+	}
+	// Per-backend aggregates, walked in kind order so the series set is
+	// deterministic: mean utilization across a kind's devices and the
+	// frames it actually served.
+	for kind := BackendQPUSim; kind <= BackendQAOA; kind++ {
+		ndev, busy := 0, 0.0
+		for d := range pl.cfg.Devices {
+			if pl.cfg.Devices[d].Backend != kind {
+				continue
+			}
+			ndev++
+			busy += pl.busy[d]
+		}
+		if ndev == 0 {
+			continue
+		}
+		util := 0.0
+		if makespan > 0 {
+			util = busy / (makespan * float64(ndev))
+		}
+		pl.cfg.Metrics.Gauge("fleet_backend_utilization",
+			pl.mlabels(telemetry.Label{Key: "backend", Value: kind.String()})...).Set(util)
+		served := 0
+		for i := range pl.batches {
+			b := &pl.batches[i]
+			if !b.faulted && pl.cfg.Devices[b.dev].Backend == kind {
+				served += len(b.frames)
+			}
+		}
+		pl.cfg.Metrics.Counter("fleet_backend_frames_total",
+			pl.mlabels(telemetry.Label{Key: "backend", Value: kind.String()})...).Add(float64(served))
 	}
 }
 

@@ -11,10 +11,24 @@ import (
 
 // DeviceStats aggregates one device's plan-phase accounting.
 type DeviceStats struct {
-	ID          int     `json:"id"`
+	ID int `json:"id"`
+	// Backend names the device's backend kind (heterogeneous pools only;
+	// empty for homogeneous QPU fleets).
+	Backend     string  `json:"backend,omitempty"`
 	Batches     int     `json:"batches"`
 	Frames      int     `json:"frames"`
 	BusyMicros  float64 `json:"busy_us"`
+	Utilization float64 `json:"utilization"`
+}
+
+// BackendStats aggregates one backend kind's devices (heterogeneous pools
+// only).
+type BackendStats struct {
+	Backend string `json:"backend"`
+	Devices int    `json:"devices"`
+	Batches int    `json:"batches"`
+	Frames  int    `json:"frames"`
+	// Utilization is the mean across the kind's devices.
 	Utilization float64 `json:"utilization"`
 }
 
@@ -30,8 +44,13 @@ type StreamStats struct {
 
 // Report summarizes one Serve call.
 type Report struct {
-	Policy  string `json:"policy"`
-	Frames  int    `json:"frames"`
+	Policy string `json:"policy"`
+	// Route is the routing policy (set only when hybrid routing is on).
+	Route string `json:"route,omitempty"`
+	// RouteFallbacks counts frames whose routing class was relaxed to any
+	// after their backend class died.
+	RouteFallbacks int `json:"route_fallbacks,omitempty"`
+	Frames         int `json:"frames"`
 	Served  int    `json:"served"`
 	Shed    int    `json:"shed"`
 	Retries int    `json:"retries"`
@@ -54,7 +73,9 @@ type Report struct {
 	PrepCache annealer.PrepCacheStats `json:"prep_cache"`
 
 	Devices []DeviceStats `json:"devices"`
-	Streams []StreamStats `json:"streams"`
+	// Backends is per-backend-kind accounting (nil for homogeneous pools).
+	Backends []BackendStats `json:"backends,omitempty"`
+	Streams  []StreamStats  `json:"streams"`
 }
 
 // percentile returns the p-quantile (0 ≤ p ≤ 1) of sorted xs by
@@ -136,6 +157,9 @@ func (pl *planner) report() Report {
 		if rep.MakespanMicros > 0 {
 			devs[d].Utilization = pl.busy[d] / rep.MakespanMicros
 		}
+		if pl.hetero {
+			devs[d].Backend = pl.cfg.Devices[d].Backend.String()
+		}
 	}
 	goodBatches := 0
 	for i := range pl.batches {
@@ -151,6 +175,29 @@ func (pl *planner) report() Report {
 		rep.MeanBatchSize = float64(served) / float64(goodBatches)
 	}
 	rep.Devices = devs
+	if pl.hetero {
+		if pl.cfg.Route != RouteAny {
+			rep.Route = pl.cfg.Route.String()
+		}
+		rep.RouteFallbacks = pl.routeFallbacks
+		for kind := BackendQPUSim; kind <= BackendQAOA; kind++ {
+			bs := BackendStats{Backend: kind.String()}
+			for d := range devs {
+				if pl.cfg.Devices[d].Backend != kind {
+					continue
+				}
+				bs.Devices++
+				bs.Batches += devs[d].Batches
+				bs.Frames += devs[d].Frames
+				bs.Utilization += devs[d].Utilization
+			}
+			if bs.Devices == 0 {
+				continue
+			}
+			bs.Utilization /= float64(bs.Devices)
+			rep.Backends = append(rep.Backends, bs)
+		}
+	}
 
 	for _, id := range pl.streams {
 		ss := perStream[id]
@@ -181,6 +228,16 @@ func (r Report) WriteTable(w io.Writer) error {
 	fmt.Fprintln(tw, "device\tbatches\tframes\tbusy µs\tutilization")
 	for _, d := range r.Devices {
 		fmt.Fprintf(tw, "%d\t%d\t%d\t%.0f\t%.1f%%\n", d.ID, d.Batches, d.Frames, d.BusyMicros, 100*d.Utilization)
+	}
+	if len(r.Backends) > 0 {
+		fmt.Fprintln(tw)
+		fmt.Fprintln(tw, "backend\tdevices\tbatches\tframes\tutilization")
+		for _, b := range r.Backends {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.1f%%\n", b.Backend, b.Devices, b.Batches, b.Frames, 100*b.Utilization)
+		}
+		if r.Route != "" {
+			fmt.Fprintf(tw, "route\t%s (%d fallbacks)\n", r.Route, r.RouteFallbacks)
+		}
 	}
 	fmt.Fprintln(tw)
 	fmt.Fprintln(tw, "stream\tframes\tserved\tshed\tmisses\tmean latency µs")

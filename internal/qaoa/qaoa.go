@@ -21,6 +21,7 @@ import (
 	"math/cmplx"
 
 	"repro/internal/qubo"
+	"repro/internal/rng"
 )
 
 // MaxQubits bounds the statevector simulation (2^20 amplitudes ≈ 16 MiB).
@@ -142,6 +143,41 @@ func applyMixer(state []complex128, n int, beta float64) {
 			state[z|bit] = cos*b + msin*a
 		}
 	}
+}
+
+// EnergyOf returns the compiled cost of basis state z (bit i of z = spin
+// i, |1⟩ ↔ s_i = +1).
+func (c *Circuit) EnergyOf(z int) float64 { return c.energies[z] }
+
+// SpinsOf decodes basis state z into a ±1 spin vector.
+func (c *Circuit) SpinsOf(z int) []int8 {
+	spins := make([]int8, c.n)
+	for i := range spins {
+		if z&(1<<uint(i)) != 0 {
+			spins[i] = 1
+		} else {
+			spins[i] = -1
+		}
+	}
+	return spins
+}
+
+// SampleState draws one measurement outcome (a basis-state index) from the
+// statevector's |amplitude|² distribution via inverse-CDF on a single
+// uniform draw — one deterministic Uint64 per sample regardless of where
+// the mass lands.
+func SampleState(state []complex128, r *rng.Source) int {
+	u := r.Float64()
+	acc := 0.0
+	for z, a := range state {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+		if u < acc {
+			return z
+		}
+	}
+	// Floating-point shortfall: the CDF summed below 1; return the last
+	// state.
+	return len(state) - 1
 }
 
 // Result summarizes one angle setting's performance.

@@ -1,0 +1,116 @@
+package slo
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/instance"
+	"repro/internal/modulation"
+	"repro/internal/telemetry"
+)
+
+// hybridRequests interleaves easy 6-spin frames (even streams) with the
+// paper's hard 32-spin frames (odd streams), the shape hardness routing
+// splits across backend classes.
+func hybridRequests(t testing.TB, streams, perStream int, interval float64) []fleet.Request {
+	t.Helper()
+	easy := testProblems(t)
+	hard, err := instance.Synthesize(instance.Spec{Users: 8, Scheme: modulation.QAM16, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs []fleet.Request
+	for s := 0; s < streams; s++ {
+		for q := 0; q < perStream; q++ {
+			p := hard.Reduction.Ising
+			if s%2 == 0 {
+				p = easy[(s+q)%len(easy)]
+			}
+			init := make([]int8, p.N)
+			for i := range init {
+				init[i] = 1
+			}
+			reqs = append(reqs, fleet.Request{
+				Stream: s, Seq: q,
+				Arrival:      float64(q) * interval,
+				Problem:      p,
+				InitialState: init,
+			})
+		}
+	}
+	return reqs
+}
+
+// TestMonitorDoesNotPerturbHybridFleet extends the monitor acceptance
+// regression to heterogeneous pools: a hybrid serve (QPU + PT + SA with
+// hardness routing) tapped by a Monitor must stay bit-identical, and the
+// snapshot's per-device utilization must cover the classical workers.
+func TestMonitorDoesNotPerturbHybridFleet(t *testing.T) {
+	reqs := hybridRequests(t, 4, 3, 200)
+	devices := fleet.HybridDevices(1, 1, 1)
+	run := func(attach bool) (*fleet.Result, []byte, *Monitor) {
+		tr := telemetry.NewTracer()
+		var m *Monitor
+		if attach {
+			m = NewMonitor(Config{Specs: DefaultSpecs(5000)})
+			tr.AddSink(m)
+		}
+		res, err := fleet.Serve(context.Background(), fleet.Config{
+			Devices: devices, Route: fleet.RouteHybrid,
+			NumReads: 4, Seed: 42, Trace: tr,
+		}, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, traceJSONL(t, tr), m
+	}
+	plain, plainTrace, _ := run(false)
+	monitored, monTrace, m := run(true)
+	if !reflect.DeepEqual(plain.Outcomes, monitored.Outcomes) {
+		t.Fatal("hybrid outcomes changed with monitoring attached")
+	}
+	if !bytes.Equal(plainTrace, monTrace) {
+		t.Fatal("hybrid exported trace changed with monitoring attached")
+	}
+
+	snap, err := m.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Tier.Served != len(reqs) || snap.Tier.Answers != len(reqs) {
+		t.Fatalf("snapshot totals: %+v for %d requests", snap.Tier, len(reqs))
+	}
+	busy := map[int]bool{}
+	for _, u := range snap.Utilization {
+		if u.BusyMicros > 0 {
+			busy[u.Device] = true
+		}
+	}
+	for d := range devices {
+		if !busy[d] {
+			t.Fatalf("device %d (backend %s) shows no utilization: %+v",
+				d, devices[d].Backend, snap.Utilization)
+		}
+	}
+
+	// The routing decision itself must be visible in the outcomes: easy
+	// frames land on classical solvers, hard ones refine on the QPU.
+	classical, quantum := 0, 0
+	for _, o := range plain.Outcomes {
+		if o.Shed {
+			continue
+		}
+		if o.Source == core.AnswerClassicalSolver {
+			classical++
+		} else {
+			quantum++
+		}
+	}
+	if classical == 0 || quantum == 0 {
+		t.Fatalf("hybrid serve should exercise both classes, got %d classical / %d quantum", classical, quantum)
+	}
+}

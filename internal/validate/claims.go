@@ -6,12 +6,14 @@ import (
 	"math"
 
 	"repro/internal/annealer"
+	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/cran"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/instance"
 	"repro/internal/metrics"
+	"repro/internal/mimo"
 	"repro/internal/modulation"
 	"repro/internal/qubo"
 	"repro/internal/rng"
@@ -69,6 +71,18 @@ func Claims() []Claim {
 			Figure:    "cran",
 			Statement: "the sharded C-RAN serving tier scales near-linearly: 4 shards serve the city workload >= 2.5x faster than one",
 			Eval:      evalCRANShardScaling,
+		},
+		{
+			Name:      "hybrid-routing",
+			Figure:    "hybrid",
+			Statement: "hardness/deadline-aware hybrid routing beats both the all-QPU and all-classical pools on mixed-workload deadline-hit rate",
+			Eval:      evalHybridRouting,
+		},
+		{
+			Name:      "classical-ber-parity",
+			Figure:    "hybrid",
+			Statement: "a default simulated-annealing backend decodes easy uplink frames at BER parity with the QPU-sim hybrid (excess BER < 2%)",
+			Eval:      evalClassicalBERParity,
 		},
 	}
 }
@@ -471,6 +485,168 @@ func evalFleetSpeedup(e *Env) ([]Estimate, int, error) {
 			return []Estimate{est}, spent, nil
 		}
 		if len(speedups) >= maxReplicates {
+			est.Verdict, est.Stop = Inconclusive, "budget-exhausted"
+			return []Estimate{est}, spent, nil
+		}
+	}
+}
+
+// evalHybridRouting tests the heterogeneous-fleet claim: on the mixed
+// easy/hard deadline workload at 2× load, the hybrid pool (2 QPU + 1 PT
+// + 1 SA with hardness/deadline routing) must beat BOTH same-size
+// homogeneous baselines on deadline-hit rate. The separation is
+// structural: the easy streams' deadlines sit under the QPU programming
+// floor (all-QPU forfeits them), and the hard frames' Monte-Carlo cost
+// drowns a classical-only pool under backlog. Committed seed-2020
+// per-replicate diffs: ≈ +0.33 over all-QPU, ≈ +0.15 over
+// all-classical; gates of 0.2 and 0.06 leave margin on both sides, and
+// the "hybrid-routing-off" injection (every frame forced classical)
+// lands at ≈ −0.06 / −0.23 — decisively across both gates.
+func evalHybridRouting(e *Env) ([]Estimate, int, error) {
+	r := e.claimRng("hybrid-routing")
+	boot := r.SplitString("bootstrap")
+	var router fleet.RouterConfig
+	if e.opts.Inject == "hybrid-routing-off" {
+		router.ForceClass = fleet.ClassClassical
+	}
+
+	replicate := func(rep int) (dq, dc float64, reads int, err error) {
+		seed := e.opts.Config.Seed ^ uint64(0x4B1D+rep*6151)
+		reqs, err := experiments.HybridWorkload(e.opts.Config, seed, 2)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		hit := make(map[string]float64, 3)
+		for _, pool := range experiments.HybridPools() {
+			rc := fleet.RouterConfig{}
+			if pool.Name == "hybrid" {
+				rc = router
+			}
+			rep2, err := experiments.ServeHybridPool(e.opts.Config, pool.Devices, pool.Route, rc, seed, reqs)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			hit[pool.Name] = 1 - rep2.DeadlineMissRate
+		}
+		reads = 3 * len(reqs) * experiments.HybridReads
+		return hit["hybrid"] - hit["all-qpu"], hit["hybrid"] - hit["all-classical"], reads, nil
+	}
+
+	var overQPU, overClassical []float64
+	spent, batches := 0, 0
+	const minReplicates, maxReplicates = 3, 6
+	for rep := 0; ; rep++ {
+		dq, dc, reads, err := replicate(rep)
+		if err != nil {
+			return nil, spent, err
+		}
+		overQPU = append(overQPU, dq)
+		overClassical = append(overClassical, dc)
+		spent += reads
+		if len(overQPU) < minReplicates {
+			continue
+		}
+		batches++
+		qpuCI := metrics.BootstrapMeanCI(overQPU, e.opts.Resamples, e.opts.Confidence, boot)
+		classicalCI := metrics.BootstrapMeanCI(overClassical, e.opts.Resamples, e.opts.Confidence, boot)
+		ests := []Estimate{
+			gradeAbove("hybrid_hit_minus_all_qpu", qpuCI, 0.2),
+			gradeAbove("hybrid_hit_minus_all_classical", classicalCI, 0.06),
+		}
+		done := true
+		for i := range ests {
+			ests[i].Batches = batches
+			if ests[i].Verdict == "" {
+				done = false
+			}
+		}
+		if done {
+			return ests, spent, nil
+		}
+		if len(overQPU) >= maxReplicates || spent >= e.opts.MaxReads {
+			for i := range ests {
+				if ests[i].Verdict == "" {
+					ests[i].Verdict, ests[i].Stop = Inconclusive, "budget-exhausted"
+				}
+			}
+			return ests, spent, nil
+		}
+	}
+}
+
+// evalClassicalBERParity tests the surrogate-quality half of the
+// heterogeneous-fleet story: on the easy end of the workload (3-user
+// QPSK uplink at 12 dB), a default simulated-annealing backend seeded
+// with the same greedy candidate decodes at the same bit error rate as
+// the QPU-sim hybrid — easy frames lose nothing by routing classical.
+// Both arms sit at or near BER 0 on this corpus, so the gate of 2%
+// excess BER is many bit-errors wide.
+func evalClassicalBERParity(e *Env) ([]Estimate, int, error) {
+	const (
+		users     = 3
+		snrDB     = 12.0
+		frames    = 12
+		readsEach = 10
+	)
+	r := e.claimRng("classical-ber-parity")
+	boot := r.SplitString("bootstrap")
+	scheme := modulation.QPSK
+	bitsPerFrame := users * scheme.BitsPerSymbol()
+
+	replicate := func(rep int) (diff float64, reads int, err error) {
+		seed := e.opts.Config.Seed ^ uint64(0xBE12+rep*7919)
+		n0 := channel.NoiseVarianceForSNR(snrDB, users)
+		insts, err := instance.Corpus(instance.Spec{
+			Users: users, Scheme: scheme, Channel: channel.Rayleigh,
+			NoiseVariance: n0,
+		}, seed, frames)
+		if err != nil {
+			return 0, 0, err
+		}
+		wr := r.SplitString("replicate").Split(uint64(rep))
+		qErr, cErr := 0, 0
+		for fi, in := range insts {
+			fr := wr.Split(uint64(fi))
+			out, err := (&core.Hybrid{NumReads: readsEach}).Solve(in.Reduction, fr.SplitString("qpu"))
+			if err != nil {
+				return 0, 0, err
+			}
+			qErr += mimo.BitErrors(scheme, out.Symbols, in.Transmitted)
+			cr := fr.SplitString("sa")
+			var best qubo.Sample
+			for k := 0; k < readsEach; k++ {
+				s := qubo.SimulatedAnnealingFrom(in.Reduction.Ising, cr.Split(uint64(k)), out.InitialState, qubo.SAOptions{})
+				if k == 0 || s.Energy < best.Energy {
+					best = s
+				}
+			}
+			cErr += mimo.BitErrors(scheme, in.Reduction.DecodeSpins(best.Spins), in.Transmitted)
+		}
+		bits := float64(frames * bitsPerFrame)
+		return (float64(cErr) - float64(qErr)) / bits, 2 * frames * readsEach, nil
+	}
+
+	var diffs []float64
+	spent, batches := 0, 0
+	const minReplicates, maxReplicates = 3, 6
+	for rep := 0; ; rep++ {
+		diff, reads, err := replicate(rep)
+		if err != nil {
+			return nil, spent, err
+		}
+		diffs = append(diffs, diff)
+		spent += reads
+		if len(diffs) < minReplicates {
+			continue
+		}
+		batches++
+		ci := metrics.BootstrapMeanCI(diffs, e.opts.Resamples, e.opts.Confidence, boot)
+		est := gradeBelow("classical_minus_qpu_ber", ci, 0.02)
+		est.Batches = batches
+		if est.Verdict != "" {
+			return []Estimate{est}, spent, nil
+		}
+		if len(diffs) >= maxReplicates || spent >= e.opts.MaxReads {
 			est.Verdict, est.Stop = Inconclusive, "budget-exhausted"
 			return []Estimate{est}, spent, nil
 		}

@@ -99,3 +99,29 @@ func TestCRANClaimGatesSingleShardInjection(t *testing.T) {
 		t.Fatalf("a tier serving against itself has speedup exactly 1, got %g", ests[0].CI.Value)
 	}
 }
+
+// The hybrid claim under the hybrid-routing-off injection pins every
+// frame in the hybrid pool to the classical class, so the pool degrades
+// into a worse all-classical tier (its two QPUs idle): both hit-rate
+// advantage gates must cross, not stall.
+func TestHybridClaimGatesRoutingOffInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serves several fleet workloads")
+	}
+	eval := claimByName(t, "hybrid-routing")
+	ests, _, err := eval(NewEnv(Options{Inject: "hybrid-routing-off"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 2 {
+		t.Fatalf("want 2 estimates, got %+v", ests)
+	}
+	for _, est := range ests {
+		if est.Verdict != Fail || est.Stop != "ci-crossed" {
+			t.Fatalf("routing-off run should cross the %s gate, got %+v", est.Metric, est)
+		}
+		if est.CI.Value >= 0 {
+			t.Fatalf("forced-classical hybrid must lose to both baselines, got %s = %g", est.Metric, est.CI.Value)
+		}
+	}
+}

@@ -13,7 +13,7 @@ import (
 
 // GoldenFigures lists the figures under golden-baseline regression, in
 // run order.
-var GoldenFigures = []string{"3", "4", "6", "7", "8", "pipeline", "fleet", "cran"}
+var GoldenFigures = []string{"3", "4", "6", "7", "8", "pipeline", "fleet", "cran", "hybrid"}
 
 // exactCI wraps a value the simulation reproduces bit-for-bit from a
 // fixed seed: a degenerate interval, so any change at all is drift.
@@ -168,6 +168,18 @@ func RunGoldenFigure(name string, opts Options) (*Golden, error) {
 			for _, row := range r.Load {
 				g.add(fmt.Sprintf("cran/load%gx/shed_rate", row.Multiplier),
 					bandCI(row.ShedRate, 0.3, 0.05))
+			}
+		}
+	case "hybrid":
+		var r *experiments.HybridResult
+		r, err = experiments.RunHybrid(cfg)
+		if err == nil {
+			res = r
+			for _, row := range r.Rows {
+				key := fmt.Sprintf("hybrid/%s/load%gx", row.Pool, row.Load)
+				g.add(key+"/hit_rate", bandCI(row.DeadlineHitRate, 0.15, 0.05))
+				g.add(key+"/served", exactCI(float64(row.Served)))
+				g.add(key+"/classical_frames", exactCI(float64(row.ClassicalFrames)))
 			}
 		}
 	default:

@@ -56,7 +56,8 @@ type Options struct {
 	// "ra-degraded" replaces every RA candidate state with random spins,
 	// "reads-slashed" cuts MaxReads 10×, "fleet-serial" serves the
 	// scaled fleet with one device, "cran-single-shard" serves the scaled
-	// C-RAN tier with one shard. Empty: no injection.
+	// C-RAN tier with one shard, "hybrid-routing-off" pins every frame in
+	// the hybrid pool to the classical class. Empty: no injection.
 	Inject string
 }
 

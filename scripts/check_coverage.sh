@@ -24,8 +24,8 @@ repro/internal/metrics 94
 repro/internal/mimo 92
 repro/internal/modulation 94
 repro/internal/pipeline 91
-repro/internal/qaoa 92
-repro/internal/qubo 90
+repro/internal/qaoa 95
+repro/internal/qubo 93
 repro/internal/rng 91
 repro/internal/slo 83
 repro/internal/telemetry 92
