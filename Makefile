@@ -7,9 +7,9 @@ GO ?= go
 # tighter cap than the local default so the leg stays inside its slot.
 VALIDATE_MAX_READS ?= 30000
 
-.PHONY: check vet build test race race-fleet race-cran race-hybrid fuzz-smoke slo fmt validate update-golden cover
+.PHONY: check vet build test race race-fleet race-cran race-hybrid race-ensemble fuzz-smoke slo fmt validate update-golden cover
 
-check: vet build test race race-fleet race-cran race-hybrid fuzz-smoke slo
+check: vet build test race race-fleet race-cran race-hybrid race-ensemble fuzz-smoke slo
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +38,13 @@ race-cran:
 # the mixed-pool determinism battery — all under the race detector.
 race-hybrid:
 	$(GO) test -race -count=1 -run 'Hybrid|Hetero|Backend|Route' ./internal/fleet/
+
+# Flexible-parallelism ensemble lock: the K×G arm planner and grouped
+# batching, multi-initial-state prepared runs, fusion purity, and the
+# ensemble determinism battery — all under the race detector.
+race-ensemble:
+	$(GO) test -race -count=1 -run 'Ensemble|FuseLLR|RunPreparedMulti|TopKCandidates|PlanArms|SpGrid' \
+		./internal/core/ ./internal/mimo/ ./internal/annealer/ ./internal/fleet/ ./internal/pipeline/
 
 # Run every fuzz target's seed corpus (no open-ended fuzzing): catches
 # regressions on the known-interesting inputs in CI time.

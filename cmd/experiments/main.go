@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/core"
 	"repro/internal/cran"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
@@ -53,12 +54,18 @@ var (
 	cranPlacement string
 )
 
+// Ensemble-figure knobs, shared with runFigure.
+var (
+	ensembleK      int
+	ensembleSpGrid string
+)
+
 func main() {
 	log := cli.New("experiments")
 	log.RegisterVerbosity()
 	tel := cli.RegisterTelemetry()
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 2|3|4|6|7|8|headline|ablation-*|ber|hardness|qaoa|capacity|availability|fleet|hybrid|cran|cran-slo|all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 2|3|4|6|7|8|headline|ablation-*|ber|hardness|qaoa|capacity|availability|fleet|hybrid|cran|cran-slo|ensemble|all")
 		scale     = flag.String("scale", "quick", "effort: quick|full")
 		out       = flag.String("out", "", "directory for per-figure output files (default stdout)")
 		seed      = flag.Uint64("seed", 0, "override experiment seed (0 = default)")
@@ -69,7 +76,7 @@ func main() {
 		checkGolden  = flag.Bool("check-golden", false, "compare figure metrics against the committed golden baselines")
 		updateGolden = flag.Bool("update-golden", false, "rewrite the golden baselines (explicit re-baselining only)")
 		goldenDir    = flag.String("golden-dir", filepath.Join("results", "golden"), "directory holding the golden baseline JSON files")
-		inject       = flag.String("validate-inject", "", "deliberate regression for harness self-tests: ra-degraded|reads-slashed|fleet-serial|cran-single-shard|hybrid-routing-off")
+		inject       = flag.String("validate-inject", "", "deliberate regression for harness self-tests: ra-degraded|reads-slashed|fleet-serial|cran-single-shard|hybrid-routing-off|ensemble-collapsed")
 		maxReads     = flag.Int("validate-max-reads", 0, "per-claim anneal-read budget for -validate (0 = default)")
 		driftOut     = flag.String("drift-report", "", "file for the machine-readable drift report JSON from -check-golden")
 	)
@@ -78,6 +85,8 @@ func main() {
 	flag.IntVar(&cranShards, "cran-shards", 8, "shard count for the cran figure (4 QPUs per shard)")
 	flag.IntVar(&cranCells, "cran-cells", 200, "cell count for the cran figure (5 UE streams per cell)")
 	flag.StringVar(&cranPlacement, "cran-placement", "hash", "cran cell-placement policy: hash|load-aware")
+	flag.IntVar(&ensembleK, "ensemble-k", 0, "extra custom ensemble-figure variant: candidate count (0 = default sweep only)")
+	flag.StringVar(&ensembleSpGrid, "ensemble-sp-grid", "", "extra custom ensemble-figure variant: comma-separated s_p grid, e.g. 0.37,0.45,0.53")
 	flag.Parse()
 	if err := tel.Start("experiments", log); err != nil {
 		log.Fatalf("%v", err)
@@ -109,7 +118,7 @@ func main() {
 
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {
-		figs = []string{"2", "3", "4", "6", "7", "8", "headline", "ablation-modules", "ablation-device", "ablation-gsorder", "ber", "hardness", "qaoa", "capacity", "availability", "fleet", "hybrid", "cran", "cran-slo"}
+		figs = []string{"2", "3", "4", "6", "7", "8", "headline", "ablation-modules", "ablation-device", "ablation-gsorder", "ber", "hardness", "qaoa", "capacity", "availability", "fleet", "hybrid", "cran", "cran-slo", "ensemble"}
 	}
 	for _, f := range figs {
 		if err := runFigure(strings.TrimSpace(f), cfg, *out, *benchJSON, log); err != nil {
@@ -225,6 +234,14 @@ func runFigure(fig string, cfg experiments.Config, outDir, benchDir string, log 
 			return err
 		}
 		res, err = experiments.RunCRANSLO(cfg, 0, 0, pol)
+	case "ensemble":
+		var grid []float64
+		if ensembleSpGrid != "" {
+			if grid, err = core.ParseSpGrid(ensembleSpGrid); err != nil {
+				return err
+			}
+		}
+		res, err = experiments.RunEnsemble(cfg, ensembleK, grid)
 	default:
 		return fmt.Errorf("unknown figure %q (2|3|4|6|7|8|headline|ablation-modules|ablation-device|ablation-gsorder)", fig)
 	}

@@ -61,21 +61,21 @@ func main() {
 		embed   = flag.Bool("embed", false, "run anneals through the Chimera-embedded QPU model")
 		verbose = flag.Bool("v", false, "print per-sample details")
 
-		faultProg    = flag.Float64("fault-prog", 0, "QPU programming-failure probability per call")
-		faultTimeout = flag.Float64("fault-timeout", 0, "per-read timeout probability")
-		faultStorm   = flag.Float64("fault-storm", 0, "per-read chain-break-storm probability")
-		faultDrift   = flag.Float64("fault-drift", 0, "per-read calibration-drift probability")
-		fallback     = flag.Bool("fallback", false, "answer with the classical candidate when the quantum stage faults (gs+ra/zf+ra/random+ra)")
-		probe        = flag.Bool("probe", false, "record sweep-level engine observations into -trace-out/-metrics-out")
+		faultProg     = flag.Float64("fault-prog", 0, "QPU programming-failure probability per call")
+		faultTimeout  = flag.Float64("fault-timeout", 0, "per-read timeout probability")
+		faultStorm    = flag.Float64("fault-storm", 0, "per-read chain-break-storm probability")
+		faultDrift    = flag.Float64("fault-drift", 0, "per-read calibration-drift probability")
+		fallback      = flag.Bool("fallback", false, "answer with the classical candidate when the quantum stage faults (gs+ra/zf+ra/random+ra)")
+		probe         = flag.Bool("probe", false, "record sweep-level engine observations into -trace-out/-metrics-out")
 		fleetDevices  = flag.Int("fleet-devices", 0, "serve the instance through a simulated multi-QPU fleet of this size (0 = direct solve)")
 		fleetPolicy   = flag.String("fleet-policy", "least-loaded", "fleet scheduling policy: least-loaded|round-robin|edf")
 		fleetBackends = flag.String("fleet-backends", "", "serve through an explicit mixed-backend pool, e.g. qpu,qpu,pt,sa (overrides -fleet-devices)")
 		fleetRoute    = flag.String("fleet-route", "any", "fleet routing policy: any|hybrid (hardness/deadline-aware)")
-		cranShards   = flag.Int("cran-shards", 0, "serve a generated city workload through a sharded C-RAN tier of this many shards (4 QPUs each; 0 = off)")
-		cranCells    = flag.Int("cran-cells", 12, "cell count for the -cran-shards demo workload")
-		cranPlace    = flag.String("cran-placement", "hash", "C-RAN cell-placement policy: hash|load-aware")
-		progMicros   = flag.Float64("prog-us", 10_000, "programming overhead μs used to lay out trace spans (telemetry only)")
-		readoutUs    = flag.Float64("readout-us", 123, "per-read readout μs used to lay out trace spans (telemetry only)")
+		cranShards    = flag.Int("cran-shards", 0, "serve a generated city workload through a sharded C-RAN tier of this many shards (4 QPUs each; 0 = off)")
+		cranCells     = flag.Int("cran-cells", 12, "cell count for the -cran-shards demo workload")
+		cranPlace     = flag.String("cran-placement", "hash", "C-RAN cell-placement policy: hash|load-aware")
+		progMicros    = flag.Float64("prog-us", 10_000, "programming overhead μs used to lay out trace spans (telemetry only)")
+		readoutUs     = flag.Float64("readout-us", 123, "per-read readout μs used to lay out trace spans (telemetry only)")
 	)
 	flag.Parse()
 	log.SetVerbose(*verbose)

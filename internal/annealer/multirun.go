@@ -1,0 +1,54 @@
+// Multi-initial-state batch planning over one prepared problem: the
+// reverse-anneal primitive a flexible-parallelism ensemble detector
+// (X-ResQ) needs. All arms of one detection frame share the SAME problem
+// and the SAME schedule — only the initial state (classical candidate)
+// and the RNG stream differ — so the per-problem compile (embedding,
+// normalization, CSR) is paid once by PrepareProblem and every arm runs
+// against the shared Prepared snapshot.
+package annealer
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// PreparedRun is one arm of a multi-initial-state batch: the candidate
+// state that seeds the reverse anneal, the arm's read count (≤ 0: the
+// lease default), and the arm's private RNG stream.
+type PreparedRun struct {
+	InitialState []int8
+	NumReads     int
+	Rng          *rng.Source
+}
+
+// RunPreparedMulti runs every arm against one prepared problem,
+// sequentially in arm order. Each arm's result is bit-identical to the
+// equivalent standalone RunPrepared call with the same (init, reads, rng)
+// — the batch form only amortizes the problem compile, it cannot change
+// an answer — so callers may re-partition arms across calls freely.
+//
+// Per-arm run failures (e.g. injected device faults) do not abort the
+// batch: results[i] is nil and errs[i] carries the arm's error, leaving
+// the caller to apply its own degradation policy (an ensemble detector
+// fuses the surviving arms). The error return covers argument validation
+// only.
+func (l *Lease) RunPreparedMulti(prep *Prepared, runs []PreparedRun) (results []*Result, errs []error, err error) {
+	if prep == nil || prep.l != l {
+		return nil, nil, fmt.Errorf("annealer: prepared problem does not belong to this lease")
+	}
+	if len(runs) == 0 {
+		return nil, nil, fmt.Errorf("annealer: multi-run batch needs at least one arm")
+	}
+	for i, ru := range runs {
+		if ru.Rng == nil {
+			return nil, nil, fmt.Errorf("annealer: multi-run arm %d has no rng stream", i)
+		}
+	}
+	results = make([]*Result, len(runs))
+	errs = make([]error, len(runs))
+	for i, ru := range runs {
+		results[i], errs[i] = l.RunPrepared(prep, ru.InitialState, ru.NumReads, ru.Rng)
+	}
+	return results, errs, nil
+}

@@ -1,0 +1,166 @@
+package annealer
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestRunPreparedMultiMatchesSequential: the multi-initial-state batch is
+// pure sugar — every arm's result must be bit-identical to the standalone
+// RunPrepared call with the same (init, reads, rng), on both the logical
+// and the embedded paths, regardless of how arms are partitioned.
+func TestRunPreparedMultiMatchesSequential(t *testing.T) {
+	is := prepTestProblems(t, 1)[0]
+	sc, err := Reverse(0.45, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{
+		Schedule: sc, NumReads: 8, SweepsPerMicrosecond: 30,
+		ICE: ICE{SigmaH: 0.02, SigmaJ: 0.01},
+	}
+	leases := map[string]*Lease{}
+	l, err := NewLease(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leases["logical"] = l
+	if l, err = NewQPU2000Q().Lease(p); err != nil {
+		t.Fatal(err)
+	}
+	leases["embedded"] = l
+	inits := make([][]int8, 3)
+	for c := range inits {
+		inits[c] = make([]int8, is.N)
+		for i := range inits[c] {
+			if (i+c)%2 == 0 {
+				inits[c][i] = 1
+			} else {
+				inits[c][i] = -1
+			}
+		}
+	}
+	for name, l := range leases {
+		t.Run(name, func(t *testing.T) {
+			prep, err := l.PrepareProblem(is)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runs := make([]PreparedRun, len(inits))
+			for c := range inits {
+				runs[c] = PreparedRun{InitialState: inits[c], NumReads: 8, Rng: rng.New(100 + uint64(c))}
+			}
+			results, errs, err := l.RunPreparedMulti(prep, runs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c := range inits {
+				if errs[c] != nil {
+					t.Fatalf("arm %d errored: %v", c, errs[c])
+				}
+				want, err := l.RunPrepared(prep, inits[c], 8, rng.New(100+uint64(c)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want, results[c]) {
+					t.Fatalf("%s arm %d diverges from standalone RunPrepared", name, c)
+				}
+			}
+		})
+	}
+}
+
+// TestRunPreparedMultiIsolatesArmFaults: a faulted arm reports its error
+// in errs without aborting the batch or poisoning its neighbours.
+func TestRunPreparedMultiIsolatesArmFaults(t *testing.T) {
+	is := prepTestProblems(t, 1)[0]
+	sc, err := Reverse(0.45, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLease(Params{
+		Schedule: sc, NumReads: 5, SweepsPerMicrosecond: 30,
+		Faults: FaultModel{ProgrammingFailureRate: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := l.PrepareProblem(is)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := make([]int8, is.N)
+	for i := range init {
+		init[i] = 1
+	}
+	runs := make([]PreparedRun, 16)
+	for i := range runs {
+		runs[i] = PreparedRun{InitialState: init, NumReads: 5, Rng: rng.New(uint64(i))}
+	}
+	results, errs, err := l.RunPreparedMulti(prep, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, healthy := 0, 0
+	for i := range runs {
+		switch {
+		case errs[i] != nil:
+			if _, ok := AsFault(errs[i]); !ok {
+				t.Fatalf("arm %d error %v is not a typed fault", i, errs[i])
+			}
+			if results[i] != nil {
+				t.Fatalf("faulted arm %d still has a result", i)
+			}
+			faulted++
+		case results[i] == nil:
+			t.Fatalf("arm %d has neither result nor error", i)
+		default:
+			healthy++
+		}
+	}
+	if faulted == 0 || healthy == 0 {
+		t.Fatalf("want a mixed batch, got %d faulted / %d healthy", faulted, healthy)
+	}
+}
+
+// TestRunPreparedMultiValidates: foreign prepared problems, empty
+// batches and nil RNG streams are rejected up front.
+func TestRunPreparedMultiValidates(t *testing.T) {
+	is := prepTestProblems(t, 1)[0]
+	sc, err := Reverse(0.45, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{Schedule: sc, NumReads: 5, SweepsPerMicrosecond: 30}
+	l1, err := NewLease(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := NewLease(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := l1.PrepareProblem(is)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := make([]int8, is.N)
+	for i := range init {
+		init[i] = 1
+	}
+	good := []PreparedRun{{InitialState: init, NumReads: 5, Rng: rng.New(1)}}
+	if _, _, err := l2.RunPreparedMulti(prep, good); err == nil {
+		t.Fatal("foreign prepared problem accepted")
+	}
+	if _, _, err := l1.RunPreparedMulti(nil, good); err == nil {
+		t.Fatal("nil prepared problem accepted")
+	}
+	if _, _, err := l1.RunPreparedMulti(prep, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, _, err := l1.RunPreparedMulti(prep, []PreparedRun{{InitialState: init, NumReads: 5}}); err == nil {
+		t.Fatal("nil rng stream accepted")
+	}
+}

@@ -43,6 +43,7 @@ func TestWriteTableGoldens(t *testing.T) {
 		{"cran", func(cfg Config) (tabler, error) { return tableFor(RunCRAN(cfg, 0, 0, cran.PlacementHash)) }},
 		{"hybrid", func(cfg Config) (tabler, error) { return tableFor(RunHybrid(cfg)) }},
 		{"cran-slo", func(cfg Config) (tabler, error) { return tableFor(RunCRANSLO(cfg, 0, 0, cran.PlacementHash)) }},
+		{"ensemble", func(cfg Config) (tabler, error) { return tableFor(RunEnsemble(cfg, 0, nil)) }},
 		{"pipeline", func(cfg Config) (tabler, error) { return tableFor(PipelineFigure(cfg, 0)) }},
 	}
 	for _, fig := range figures {

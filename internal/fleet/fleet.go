@@ -80,6 +80,17 @@ type Request struct {
 	Sp, Tp float64
 	// NumReads overrides the per-frame read count (0: Config default).
 	NumReads int
+	// Group, when positive, marks this request as one arm of an ensemble
+	// frame: batch filling treats same-group requests like same-stream
+	// continuations (exempt from the cross-stream cap), so one frame's
+	// arms coalesce onto a device's programming cycles instead of
+	// starving it of unrelated work. 0 (the default) opts out; grouping
+	// never changes an answer, only batch composition and timing.
+	Group int
+	// KeepSamples asks the executor to return the frame's raw anneal
+	// reads in Outcome.Samples (an ensemble fuses them into soft output).
+	// Off by default: a fleet result normally carries only Best.
+	KeepSamples bool
 }
 
 // Device is one backend in the pool. The zero value is a valid logical
@@ -231,6 +242,10 @@ type Outcome struct {
 	// device fault).
 	Source core.AnswerSource `json:"source"`
 	Best   qubo.Sample       `json:"best"`
+	// Samples holds the frame's raw anneal reads, only when the request
+	// set KeepSamples (ensemble fusion needs them; plain serving drops
+	// them to keep results small).
+	Samples []qubo.Sample `json:"samples,omitempty"`
 }
 
 // Result is one Serve call's full output.
@@ -289,6 +304,9 @@ func ValidateRequests(reqs []Request) error {
 		}
 		if r.NumReads < 0 || r.NumReads > annealer.MaxReads {
 			return fmt.Errorf("fleet: request (%d, %d): bad read count %d", r.Stream, r.Seq, r.NumReads)
+		}
+		if r.Group < 0 || r.Group >= 1<<31 {
+			return fmt.Errorf("fleet: request (%d, %d): group %d out of [0, 2^31)", r.Stream, r.Seq, r.Group)
 		}
 		if prev, ok := lastArrival[r.Stream]; ok && r.Arrival < prev {
 			return fmt.Errorf("fleet: stream %d: seq %d arrives at %g before seq %d at %g (per-stream arrivals must be non-decreasing in seq order)",
@@ -451,6 +469,8 @@ type frame struct {
 	// class back to ClassAny when its devices die.
 	class    BackendClass
 	hardness float64
+	// group mirrors req.Group for the batch filler's exemption check.
+	group int
 }
 
 // plannedBatch is one shared programming cycle fixed by the plan phase.
@@ -527,6 +547,11 @@ type planner struct {
 	// homogeneous QPU runs stay byte-identical to earlier releases.
 	hetero         bool
 	routeFallbacks int
+
+	// grouped marks a request set with ensemble arm groups; the group
+	// exemption in pickFrame is gated on it (same contract as hetero) so
+	// ungrouped request sets plan byte-identically to earlier releases.
+	grouped bool
 }
 
 type leaseKey struct {
@@ -575,7 +600,10 @@ func newPlanner(cfg Config, reqs []Request) (*planner, error) {
 	})
 	for _, i := range order {
 		r := reqs[i]
-		f := frame{req: r, stream: dense[r.Stream], sp: r.Sp, tp: r.Tp, reads: r.NumReads}
+		f := frame{req: r, stream: dense[r.Stream], sp: r.Sp, tp: r.Tp, reads: r.NumReads, group: r.Group}
+		if r.Group > 0 {
+			pl.grouped = true
+		}
 		if f.sp == 0 {
 			f.sp = cfg.Sp
 		}
@@ -822,14 +850,19 @@ func (pl *planner) routable(fi, dev int) bool {
 // with nothing in flight are eligible); otherwise it extends batch
 // forBatch with frames matching key — a stream already in THAT batch may
 // contribute its next frame too (same-cycle continuation keeps FIFO
-// intact). contOnly restricts the pick to those continuations.
-func (pl *planner) pickFrame(forBatch int, key schedKey, contOnly bool, dev int) int {
+// intact). contOnly restricts the pick to those continuations, plus —
+// for grouped request sets — idle streams whose head frame belongs to
+// ensemble group `group`: a frame's arms are one logical unit of work,
+// so coalescing them into the seeding arm's cycle is the same pure
+// amortization as a same-stream continuation.
+func (pl *planner) pickFrame(forBatch int, key schedKey, contOnly bool, dev, group int) int {
 	eligible := func(s int) int {
 		if len(pl.queues[s]) == 0 {
 			return -1
 		}
 		if contOnly {
-			if pl.inflight[s] != forBatch {
+			if pl.inflight[s] != forBatch &&
+				!(pl.grouped && group > 0 && pl.inflight[s] == -1 && pl.frames[pl.queues[s][0]].group == group) {
 				return -1
 			}
 		} else if pl.inflight[s] != -1 && pl.inflight[s] != forBatch {
@@ -1006,7 +1039,7 @@ func (pl *planner) dispatch() {
 		if dev < 0 {
 			return
 		}
-		seed := pl.pickFrame(-1, schedKey{}, false, dev)
+		seed := pl.pickFrame(-1, schedKey{}, false, dev, 0)
 		if seed >= 0 {
 			pl.launch(dev, seed)
 			continue
@@ -1022,7 +1055,7 @@ func (pl *planner) dispatch() {
 			if d == dev || pl.busyUntil[d] > pl.clock || pl.deviceDown(d, pl.clock) {
 				continue
 			}
-			if s := pl.pickFrame(-1, schedKey{}, false, d); s >= 0 {
+			if s := pl.pickFrame(-1, schedKey{}, false, d, 0); s >= 0 {
 				pl.launch(d, s)
 				launched = true
 				break
@@ -1074,7 +1107,7 @@ func (pl *planner) launch(dev, seed int) {
 	take(seed)
 	cross := 1
 	for len(b.frames) < pl.cfg.BatchMax {
-		fi := pl.pickFrame(id, key, cross >= crossCap, dev)
+		fi := pl.pickFrame(id, key, cross >= crossCap, dev, sf.group)
 		if fi < 0 {
 			break
 		}
@@ -1337,6 +1370,9 @@ func (pl *planner) runBatch(bi int) error {
 		} else {
 			o.Source = core.AnswerQuantum
 			o.Best = res.Best
+		}
+		if f.req.KeepSamples {
+			o.Samples = res.Samples
 		}
 		pl.annealStats(f, o, initE, res)
 	}

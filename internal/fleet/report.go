@@ -51,10 +51,10 @@ type Report struct {
 	// after their backend class died.
 	RouteFallbacks int `json:"route_fallbacks,omitempty"`
 	Frames         int `json:"frames"`
-	Served  int    `json:"served"`
-	Shed    int    `json:"shed"`
-	Retries int    `json:"retries"`
-	Batches int    `json:"batches"`
+	Served         int `json:"served"`
+	Shed           int `json:"shed"`
+	Retries        int `json:"retries"`
+	Batches        int `json:"batches"`
 	// MeanBatchSize counts frames per non-faulted programming cycle.
 	MeanBatchSize float64 `json:"mean_batch_size"`
 	// MakespanMicros spans simulated time zero to the last finish.

@@ -1,0 +1,114 @@
+package mimo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/qubo"
+)
+
+// This file extends the soft-information path to ensemble detection
+// (X-ResQ's flexible parallelism): many reverse-anneal arms — different
+// classical candidates × different s_p switch points — each return a
+// sample ensemble for the SAME reduced problem, and the receiver fuses
+// all of them into one per-spin LLR vector before handing soft bits to
+// the channel decoder.
+
+// FuseLLRs fuses the per-arm read ensembles of one detection frame into
+// per-spin log-likelihood ratios under a joint Boltzmann re-weighting:
+//
+//	LLR_i = log Σ_{s: s_i=+1} e^{−β(E(s)−E_min)}
+//	      − log Σ_{s: s_i=−1} e^{−β(E(s)−E_min)} ,
+//
+// with the sums running over the POOLED samples of every arm. beta ≤ 0
+// selects a scale-free default from the pooled energy spread
+// (4 / (E_max − E_min), floored for degenerate ensembles); LLR magnitudes
+// are clamped to maxAbs (≤ 0: 50), since a missing side would otherwise
+// be ±∞.
+//
+// Fusion is bitwise permutation-invariant in both arm order and read
+// order: the pooled samples are accumulated in a canonical (energy, spins)
+// order, so any partition of the same read multiset into arms produces
+// byte-identical LLRs. Samples with non-finite energies (NaN, ±Inf — a
+// poisoned read would otherwise capture or erase the whole weighting) are
+// dropped, the same policy metrics.Histogram applies to unbinnable NaN
+// observations.
+func FuseLLRs(arms [][]qubo.Sample, beta, maxAbs float64) ([]float64, error) {
+	if maxAbs <= 0 {
+		maxAbs = 50
+	}
+	var pool []qubo.Sample
+	n := -1
+	for _, arm := range arms {
+		for _, s := range arm {
+			if math.IsNaN(s.Energy) || math.IsInf(s.Energy, 0) {
+				continue
+			}
+			if n < 0 {
+				n = len(s.Spins)
+			} else if len(s.Spins) != n {
+				return nil, fmt.Errorf("mimo: fusion got %d-spin and %d-spin samples", n, len(s.Spins))
+			}
+			pool = append(pool, s)
+		}
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("mimo: fusion needs at least one finite-energy sample")
+	}
+	// Canonical accumulation order: energy, then spins lexicographically.
+	// Samples that tie on both are identical, so float accumulation is a
+	// pure function of the pooled multiset.
+	sort.Slice(pool, func(a, b int) bool {
+		if pool[a].Energy != pool[b].Energy {
+			return pool[a].Energy < pool[b].Energy
+		}
+		sa, sb := pool[a].Spins, pool[b].Spins
+		for i := range sa {
+			if sa[i] != sb[i] {
+				return sa[i] < sb[i]
+			}
+		}
+		return false
+	})
+	eMin := pool[0].Energy
+	if beta <= 0 {
+		spread := pool[len(pool)-1].Energy - eMin
+		if spread < 1e-9 {
+			beta = 1
+		} else {
+			beta = 4 / spread
+		}
+	}
+	up := make([]float64, n)
+	down := make([]float64, n)
+	for _, s := range pool {
+		w := math.Exp(-beta * (s.Energy - eMin))
+		for i, sp := range s.Spins {
+			if sp > 0 {
+				up[i] += w
+			} else {
+				down[i] += w
+			}
+		}
+	}
+	llrs := make([]float64, n)
+	for i := range llrs {
+		switch {
+		case up[i] == 0:
+			llrs[i] = -maxAbs
+		case down[i] == 0:
+			llrs[i] = maxAbs
+		default:
+			l := math.Log(up[i]) - math.Log(down[i])
+			if l > maxAbs {
+				l = maxAbs
+			}
+			if l < -maxAbs {
+				l = -maxAbs
+			}
+			llrs[i] = l
+		}
+	}
+	return llrs, nil
+}

@@ -1,0 +1,109 @@
+package pipeline
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/instance"
+	"repro/internal/modulation"
+	"repro/internal/rng"
+)
+
+// TestEnsembleStageCollapsesToQuantumStage: a K=1/{0.45} ensemble stage
+// on a greedy-seeded pipeline must detect bit-identically to the
+// single-arm QuantumStage — same symbols, best energy, answer source,
+// and service time — because candidate 0 is the same greedy state and
+// arm 0 runs on the same RNG stream.
+func TestEnsembleStageCollapsesToQuantumStage(t *testing.T) {
+	insts, err := instance.Corpus(instance.Spec{
+		Users: 3, Scheme: modulation.QAM16, Channel: channel.UnitGainRandomPhase,
+	}, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(quantum Stage) []*Frame {
+		frames, err := GenerateFrames(insts, 500, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := &Pipeline{Stages: []Stage{&ClassicalStage{Rng: rng.New(1)}, quantum}}
+		out, err := p.Run(frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range out {
+			if f.Err != nil {
+				t.Fatal(f.Err)
+			}
+		}
+		return out
+	}
+	cfg := core.AnnealConfig{SweepsPerMicrosecond: 60}
+	single := run(&QuantumStage{NumReads: 20, Config: cfg, Rng: rng.New(2)})
+	ens := run(&EnsembleStage{ReadsPerArm: 20, Config: cfg, Rng: rng.New(2)})
+	for i := range single {
+		sp := single[i].Payload.(*DetectionPayload)
+		ep := ens[i].Payload.(*DetectionPayload)
+		if !reflect.DeepEqual(sp.Symbols, ep.Symbols) || sp.BestEnergy != ep.BestEnergy || sp.Source != ep.Source {
+			t.Fatalf("frame %d: collapsed ensemble diverges from the single arm", i)
+		}
+		if math.Abs(single[i].ServiceTimes[1]-ens[i].ServiceTimes[1]) > 1e-9 {
+			t.Fatalf("frame %d: service %v vs %v", i, ens[i].ServiceTimes[1], single[i].ServiceTimes[1])
+		}
+		if len(ep.SoftLLRs) != len(sp.Symbols)*modulation.QAM16.BitsPerSymbol() {
+			t.Fatalf("frame %d: fused LLRs %d, want one per spin", i, len(ep.SoftLLRs))
+		}
+	}
+}
+
+// TestEnsembleStageWidensAndCharges: a K×G stage fuses every arm and
+// charges each arm's anneal plus per-read readout on top of one shared
+// programming cycle.
+func TestEnsembleStageWidensAndCharges(t *testing.T) {
+	insts, err := instance.Corpus(instance.Spec{
+		Users: 3, Scheme: modulation.QAM16, Channel: channel.UnitGainRandomPhase,
+	}, 11, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := GenerateFrames(insts, 500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		reads       = 10
+		programming = 1000.0
+		readout     = 25.0
+	)
+	es := &EnsembleStage{
+		K: 2, SpGrid: []float64{0.37, 0.45}, ReadsPerArm: reads,
+		Config:            core.AnnealConfig{SweepsPerMicrosecond: 60},
+		ProgrammingMicros: programming, ReadoutMicros: readout,
+		Rng: rng.New(3),
+	}
+	if es.Name() != "qpu:ra-ensemble[k=2,g=2]" {
+		t.Fatalf("stage name %q", es.Name())
+	}
+	p := &Pipeline{Stages: []Stage{&ClassicalStage{Rng: rng.New(1)}, es}}
+	out, err := p.Run(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range out {
+		if f.Err != nil {
+			t.Fatal(f.Err)
+		}
+		pl := f.Payload.(*DetectionPayload)
+		if pl.SoftLLRs == nil {
+			t.Fatalf("frame %d missing fused soft output", f.Seq)
+		}
+		// 4 arms: programming once, readout per read per arm, anneal > 0.
+		floor := programming + 4*reads*readout
+		if f.ServiceTimes[1] <= floor {
+			t.Fatalf("frame %d service %v under the %v overhead floor", f.Seq, f.ServiceTimes[1], floor)
+		}
+	}
+}

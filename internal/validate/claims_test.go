@@ -125,3 +125,35 @@ func TestHybridClaimGatesRoutingOffInjection(t *testing.T) {
 		}
 	}
 }
+
+// The ensemble claim under the ensemble-collapsed injection shrinks the
+// detector to K=1 over the trivial {0.45} grid — the "ensemble" IS the
+// single arm, every paired difference is identically zero, and the gate
+// must cross immediately, never stall.
+func TestEnsembleClaimGatesCollapseInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("anneal-backed sequential test")
+	}
+	eval := claimByName(t, "ensemble-ra")
+	ests, reads, err := eval(NewEnv(Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 1 || ests[0].Verdict != Pass || ests[0].Stop != "ci-cleared" {
+		t.Fatalf("honest run should pass, got %+v", ests)
+	}
+	if reads <= 0 {
+		t.Fatalf("no reads accounted for a %d-batch run", ests[0].Batches)
+	}
+
+	ests, _, err = eval(NewEnv(Options{Inject: "ensemble-collapsed"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 1 || ests[0].Verdict != Fail || ests[0].Stop != "ci-crossed" {
+		t.Fatalf("collapsed run should cross the gate, got %+v", ests)
+	}
+	if ests[0].CI.Value != 0 || ests[0].CI.Lo != 0 || ests[0].CI.Hi != 0 {
+		t.Fatalf("a collapsed ensemble differs from itself by exactly zero, got %+v", ests[0].CI)
+	}
+}

@@ -13,7 +13,7 @@ import (
 
 // GoldenFigures lists the figures under golden-baseline regression, in
 // run order.
-var GoldenFigures = []string{"3", "4", "6", "7", "8", "pipeline", "fleet", "cran", "hybrid"}
+var GoldenFigures = []string{"3", "4", "6", "7", "8", "pipeline", "fleet", "cran", "hybrid", "ensemble"}
 
 // exactCI wraps a value the simulation reproduces bit-for-bit from a
 // fixed seed: a degenerate interval, so any change at all is drift.
@@ -180,6 +180,18 @@ func RunGoldenFigure(name string, opts Options) (*Golden, error) {
 				g.add(key+"/hit_rate", bandCI(row.DeadlineHitRate, 0.15, 0.05))
 				g.add(key+"/served", exactCI(float64(row.Served)))
 				g.add(key+"/classical_frames", exactCI(float64(row.ClassicalFrames)))
+			}
+		}
+	case "ensemble":
+		var r *experiments.EnsembleResult
+		r, err = experiments.RunEnsemble(cfg, 0, nil)
+		if err == nil {
+			res = r
+			for _, row := range r.Rows {
+				key := "ensemble/" + row.Variant
+				g.add(key+"/success", metrics.WilsonCI(row.Successes, row.Uses))
+				g.add(key+"/soft_info_ber", metrics.WilsonCI(row.SoftInfoErrs, row.InfoBits))
+				g.add(key+"/arms", exactCI(float64(row.Arms)))
 			}
 		}
 	default:

@@ -57,7 +57,9 @@ type Options struct {
 	// "reads-slashed" cuts MaxReads 10×, "fleet-serial" serves the
 	// scaled fleet with one device, "cran-single-shard" serves the scaled
 	// C-RAN tier with one shard, "hybrid-routing-off" pins every frame in
-	// the hybrid pool to the classical class. Empty: no injection.
+	// the hybrid pool to the classical class, "ensemble-collapsed"
+	// shrinks the RA ensemble to K=1 over the trivial {0.45} grid.
+	// Empty: no injection.
 	Inject string
 }
 

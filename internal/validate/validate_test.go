@@ -19,8 +19,8 @@ func TestClaimRegistry(t *testing.T) {
 		}
 		seen[c.Name] = true
 	}
-	if len(seen) != 8 {
-		t.Fatalf("expected the 8 registered claims, got %d", len(seen))
+	if len(seen) != 9 {
+		t.Fatalf("expected the 9 registered claims, got %d", len(seen))
 	}
 }
 

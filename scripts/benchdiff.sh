@@ -6,10 +6,12 @@
 #   scripts/benchdiff.sh             # run the bench suite, then diff
 #   scripts/benchdiff.sh FRESH_DIR   # diff already-recorded FRESH_DIR
 #
-# The report is informational: shared CI runners are too noisy to gate
-# on wall time, so this always exits 0 unless BENCHDIFF_GATE_PCT is set,
-# in which case any benchmark slower than the committed record by more
-# than that percentage fails the script (for quiet, dedicated hosts).
+# The timing report is informational: shared CI runners are too noisy
+# to gate on wall time, so deltas never fail the script unless
+# BENCHDIFF_GATE_PCT is set, in which case any benchmark slower than
+# the committed record by more than that percentage fails it (for
+# quiet, dedicated hosts). A committed record that the fresh run did
+# not produce at all is a stale baseline and always fails.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -25,7 +27,7 @@ else
         -bench 'BenchmarkSVMCSweep|BenchmarkPIMCSweep|BenchmarkRun$|BenchmarkLeasePreparedHit' \
         -benchtime=1x ./internal/annealer/ >/dev/null
     BENCH_JSON_DIR="$FRESH_DIR" go test -run '^$' \
-        -bench 'BenchmarkFleetServe' -benchtime=1x ./internal/fleet/ >/dev/null
+        -bench 'BenchmarkFleetServe|BenchmarkEnsembleDetect' -benchtime=1x ./internal/fleet/ >/dev/null
     BENCH_JSON_DIR="$FRESH_DIR" go test -run '^$' \
         -bench 'BenchmarkCRANServe' -benchtime=1x ./internal/cran/ >/dev/null
 fi
@@ -42,7 +44,12 @@ for base in "$BASE_DIR"/BENCH_*.json; do
     name=$(basename "$base")
     fresh="$FRESH_DIR/$name"
     if [ ! -f "$fresh" ]; then
-        printf '%-36s %15s %15s %9s\n' "${name#BENCH_}" "$(ns_per_op "$base")" - missing
+        # A committed record with no fresh counterpart means the
+        # benchmark was renamed or dropped (or fell out of the run list
+        # above) — that's a stale baseline, not timing noise, so it
+        # fails even without BENCHDIFF_GATE_PCT.
+        printf '%-36s %15s %15s %9s\n' "${name#BENCH_}" "$(ns_per_op "$base")" - MISSING
+        fail=1
         continue
     fi
     old=$(ns_per_op "$base")

@@ -14,14 +14,14 @@ repro/internal/channel 87
 repro/internal/chimera 92
 repro/internal/cli 55
 repro/internal/coding 93
-repro/internal/core 83
+repro/internal/core 86
 repro/internal/cran 94
 repro/internal/experiments 84
 repro/internal/fleet 94
 repro/internal/instance 84
 repro/internal/linalg 90
 repro/internal/metrics 94
-repro/internal/mimo 92
+repro/internal/mimo 93
 repro/internal/modulation 94
 repro/internal/pipeline 91
 repro/internal/qaoa 95
